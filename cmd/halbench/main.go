@@ -1,0 +1,188 @@
+// Command halbench regenerates every table and figure of the HAL paper's
+// evaluation and prints them as aligned ASCII tables.
+//
+// Usage:
+//
+//	halbench [-quick] [-seed N] [experiment ...]
+//
+// With no experiment arguments it runs all of them. Valid names: tab1,
+// fig2, fig3, fig4, fig5, fig8, fig9, fig10, tab2, tab5, costs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"halsim/internal/experiments"
+	"halsim/internal/server"
+	"halsim/internal/sim"
+)
+
+var emitCSV bool
+
+// emit prints a table in the selected format.
+func emit(t experiments.Table) {
+	if emitCSV {
+		fmt.Print(t.CSV())
+		fmt.Println()
+		return
+	}
+	fmt.Println(t.Render())
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter simulations (noisier numbers)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+	emitCSV = *csv
+
+	opt := experiments.Options{Seed: *seed}
+	if *quick {
+		opt.Duration = 80 * sim.Millisecond
+		opt.TraceDuration = 200 * sim.Millisecond
+	}
+
+	runners := map[string]func(experiments.Options) error{
+		"tab1": func(experiments.Options) error {
+			emit(experiments.Table1())
+			return nil
+		},
+		"fig2": func(o experiments.Options) error {
+			r, err := experiments.CompareSNICHost(o)
+			if err != nil {
+				return err
+			}
+			emit(r.Fig2())
+			return nil
+		},
+		"fig3": func(o experiments.Options) error {
+			r, err := experiments.CompareSNICHost(o)
+			if err != nil {
+				return err
+			}
+			emit(r.Fig3())
+			return nil
+		},
+		"fig4": func(o experiments.Options) error {
+			rs, err := experiments.Fig4(o)
+			if err != nil {
+				return err
+			}
+			for _, r := range rs {
+				for _, t := range r.Tables() {
+					emit(t)
+				}
+				fmt.Printf("SNIC energy-efficiency crossover for %v: %.0f Gbps\n\n",
+					r.Fn, r.CrossoverGbps(server.SNICOnly, server.HostOnly))
+			}
+			return nil
+		},
+		"fig5": func(o experiments.Options) error {
+			r, err := experiments.Fig5(o)
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		},
+		"fig8": func(o experiments.Options) error {
+			emit(experiments.Fig8(o))
+			return nil
+		},
+		"fig9": func(o experiments.Options) error {
+			rs, err := experiments.Fig9(o)
+			if err != nil {
+				return err
+			}
+			for _, r := range rs {
+				for _, t := range r.Tables() {
+					emit(t)
+				}
+			}
+			return nil
+		},
+		"fig10": func(o experiments.Options) error {
+			r, err := experiments.Fig10(o)
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		},
+		"tab2": func(o experiments.Options) error {
+			r, err := experiments.Table2(o)
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		},
+		"tab5": func(o experiments.Options) error {
+			r, err := experiments.Table5(o)
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			emit(r.SummaryTable())
+			return nil
+		},
+		"costs": func(o experiments.Options) error {
+			r, err := experiments.Costs(o)
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			return nil
+		},
+		"ablation": func(o experiments.Options) error {
+			for _, f := range []func(experiments.Options) (experiments.AblationResult, error){
+				experiments.AblationLBP,
+				experiments.AblationWatermarks,
+				experiments.AblationMonitorPeriod,
+				experiments.AblationPacketSize,
+				experiments.AblationFunctionMix,
+			} {
+				r, err := f(o)
+				if err != nil {
+					return err
+				}
+				emit(r.Table())
+			}
+			emit(experiments.DVFSEstimate())
+			return nil
+		},
+		"validate": func(o experiments.Options) error {
+			r, err := experiments.Validate(o)
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			if !r.Passed() {
+				return fmt.Errorf("validation failed")
+			}
+			return nil
+		},
+	}
+	order := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig5", "fig8", "fig9", "tab5", "fig10", "costs", "ablation", "validate"}
+
+	names := flag.Args()
+	if len(names) == 0 {
+		names = order
+	}
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "halbench: unknown experiment %q (valid: %v)\n", name, order)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := run(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "halbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

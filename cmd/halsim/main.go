@@ -1,0 +1,121 @@
+// Command halsim runs a single SNIC-host simulation and prints its
+// metrics — the interactive front door to the simulator.
+//
+// Examples:
+//
+//	halsim -mode hal -fn NAT -rate 80
+//	halsim -mode snic -fn REM -rate 30 -duration 500ms
+//	halsim -mode hal -fn Count -workload hadoop -cxl
+//	halsim -mode slb -fn NAT -rate 80 -slb-cores 4 -slb-th 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"halsim/internal/cxl"
+	"halsim/internal/nf"
+	"halsim/internal/server"
+	"halsim/internal/sim"
+	"halsim/internal/trace"
+)
+
+func main() {
+	var (
+		modeFlag = flag.String("mode", "hal", "host | snic | hal | slb")
+		fnFlag   = flag.String("fn", "NAT", "function: KVS Count EMA NAT BM25 KNN Bayes REM Crypto Comp")
+		fnCfg    = flag.String("fn-config", "", "function configuration (e.g. tea/lite for REM)")
+		pipe     = flag.String("pipeline", "", "optional second function fed by the first")
+		rate     = flag.Float64("rate", 40, "offered load in Gbps (ignored with -workload)")
+		workload = flag.String("workload", "", "web | cache | hadoop datacenter trace")
+		duration = flag.Duration("duration", 300*time.Millisecond, "simulated duration")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		useCXL   = flag.Bool("cxl", false, "attach the SNIC over CXL (coherent shared state)")
+		slbCores = flag.Int("slb-cores", 4, "SLB forwarding cores (slb mode)")
+		slbTh    = flag.Float64("slb-th", 20, "SLB FwdTh in Gbps (slb mode)")
+		function = flag.Bool("functional", false, "execute the real network function per packet")
+	)
+	flag.Parse()
+
+	cfg := server.Config{FnConfig: *fnCfg, Seed: *seed, Functional: *function}
+	switch strings.ToLower(*modeFlag) {
+	case "host":
+		cfg.Mode = server.HostOnly
+	case "snic":
+		cfg.Mode = server.SNICOnly
+	case "hal":
+		cfg.Mode = server.HAL
+	case "slb":
+		cfg.Mode = server.SLB
+		cfg.SLBCores = *slbCores
+		cfg.SLBFwdThGbps = *slbTh
+	default:
+		fail("unknown mode %q", *modeFlag)
+	}
+	fn, err := nf.ParseID(*fnFlag)
+	if err != nil {
+		fail("%v", err)
+	}
+	cfg.Fn = fn
+	if *pipe != "" {
+		p, err := nf.ParseID(*pipe)
+		if err != nil {
+			fail("%v", err)
+		}
+		cfg.PipelineOn = true
+		cfg.Pipeline = p
+	}
+	if *useCXL {
+		cfg.Fabric = cxl.NewFabric(cxl.CXL, 2)
+	}
+
+	rc := server.RunConfig{Duration: sim.Duration(*duration), RateGbps: *rate}
+	if *workload != "" {
+		var w trace.Workload
+		switch strings.ToLower(*workload) {
+		case "web":
+			w = trace.Web
+		case "cache":
+			w = trace.Cache
+		case "hadoop":
+			w = trace.Hadoop
+		default:
+			fail("unknown workload %q", *workload)
+		}
+		rc.Workload = &w
+	}
+
+	start := time.Now()
+	res, err := server.Run(cfg, rc)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("mode=%v fn=%v", res.Mode, res.Fn)
+	if cfg.PipelineOn {
+		fmt.Printf("+%v", cfg.Pipeline)
+	}
+	fmt.Println()
+	fmt.Printf("  offered     %8.2f Gbps\n", res.OfferedGbps)
+	fmt.Printf("  delivered   %8.2f Gbps avg, %.2f Gbps best 10ms window\n", res.AvgGbps, res.MaxGbps)
+	fmt.Printf("  latency     p50 %.1f us, p99 %.1f us, p99.9 %.1f us\n", res.P50us, res.P99us, res.P999us)
+	fmt.Printf("  power       %8.1f W avg -> %.4f Gbps/W\n", res.AvgPowerW, res.EffGbpsPerW)
+	fmt.Printf("              %8.1f W floor + %.1f W host + %.1f W snic\n", res.IdleW, res.HostActiveW, res.SNICActiveW)
+	fmt.Printf("  drops       %8.2f %%\n", res.DropFraction*100)
+	fmt.Printf("  snic share  %8.1f %% of delivered bytes\n", res.SNICShare*100)
+	if res.Mode == server.HAL {
+		fmt.Printf("  fwd_th      %8.1f Gbps final (%d LBP adjustments, %d host wakeups)\n",
+			res.FinalFwdTh, res.LBPAdjustments, res.Wakeups)
+	}
+	if res.CoherenceRemote > 0 {
+		fmt.Printf("  coherence   %8d remote transfers/invalidations\n", res.CoherenceRemote)
+	}
+	fmt.Printf("  [%d packets simulated in %v]\n", res.Sent, time.Since(start).Round(time.Millisecond))
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "halsim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command haltrace inspects the synthetic datacenter traffic generators
+// (Fig. 8): it prints trace snapshots, summary statistics, and the
+// link-utilization CDF for each workload.
+//
+// Usage:
+//
+//	haltrace [-workload web|cache|hadoop] [-epochs N] [-seed N] [-plot]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"halsim/internal/stats"
+	"halsim/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "limit to one workload (default: all)")
+		epochs   = flag.Int("epochs", 10000, "epochs to synthesize")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		plot     = flag.Bool("plot", false, "print an ASCII rate strip of the first 60 epochs")
+		fit      = flag.Bool("fit", false, "re-fit lognormal (mu, sigma) to the synthesized trace")
+	)
+	flag.Parse()
+
+	ws := trace.Workloads
+	if *workload != "" {
+		switch strings.ToLower(*workload) {
+		case "web":
+			ws = []trace.Workload{trace.Web}
+		case "cache":
+			ws = []trace.Workload{trace.Cache}
+		case "hadoop":
+			ws = []trace.Workload{trace.Hadoop}
+		default:
+			fmt.Fprintf(os.Stderr, "haltrace: unknown workload %q\n", *workload)
+			os.Exit(2)
+		}
+	}
+
+	for _, w := range ws {
+		p := trace.ParamsFor(w)
+		g := trace.NewWorkloadGenerator(w, *seed)
+		snap := g.Snapshot(*epochs)
+		s := trace.Summarize(snap)
+		fmt.Printf("%s: lognormal(mu=%.2f sigma=%.2f), target avg %.1f Gbps\n",
+			w, p.Mu, p.Sigma, p.AvgGbps)
+		fmt.Printf("  %d epochs: mean %.2f  p50 %.2f  p99 %.1f  max %.1f Gbps\n",
+			*epochs, s.Mean, s.P50, s.P99, s.Max)
+		th := []float64{0.1, 0.5, 1, 2, 5, 10, 25, 50, 100}
+		cdf := trace.CDF(snap, th)
+		fmt.Print("  CDF:")
+		for i, t := range th {
+			fmt.Printf(" <=%g:%.3f", t, cdf[i])
+		}
+		fmt.Println()
+		if *fit {
+			if mu, sigma, ok := trace.FitLogNormal(snap); ok {
+				fmt.Printf("  refit: mu=%.2f sigma=%.2f (sigma should match the target shape)\n", mu, sigma)
+			}
+		}
+		if *plot {
+			fmt.Println("  first 60 epochs (each # = 2 Gbps):")
+			for i := 0; i < 60 && i < len(snap); i++ {
+				fmt.Printf("  %3d %6.2fG %s\n", i, snap[i], stats.Bar(snap[i], 100, 50))
+			}
+		}
+		fmt.Println()
+	}
+}

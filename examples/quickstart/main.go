@@ -1,0 +1,30 @@
+// Quickstart: run NAT at 80 Gbps under the three operating modes and see
+// why hardware-assisted load balancing exists — the SNIC alone saturates,
+// the host alone burns power, HAL gets both throughput and efficiency.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"halsim"
+)
+
+func main() {
+	fmt.Println("NAT at 80 Gbps offered, MTU packets, 300 ms simulated:")
+	fmt.Println()
+	for _, mode := range []halsim.Mode{halsim.SNICOnly, halsim.HostOnly, halsim.HAL} {
+		res, err := halsim.Run(
+			halsim.Config{Mode: mode, Fn: halsim.NAT},
+			halsim.RunConfig{Duration: 300 * halsim.Millisecond, RateGbps: 80},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5v delivered %5.1f Gbps | p99 %7.1f us | %5.1f W | %.4f Gbps/W | drops %4.1f%%\n",
+			mode, res.AvgGbps, res.P99us, res.AvgPowerW, res.EffGbpsPerW, res.DropFraction*100)
+	}
+	fmt.Println()
+	fmt.Println("expected shape: SNIC saturates ≈42G with ms-scale p99; the host keeps up")
+	fmt.Println("but at ≈330 W; HAL delivers the full 80G near host latency at lower power.")
+}

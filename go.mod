@@ -1,0 +1,3 @@
+module halsim
+
+go 1.22

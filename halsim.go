@@ -1,0 +1,155 @@
+// Package halsim is the public API of the HAL reproduction: a
+// discrete-event simulation of SNIC-host cooperative computing with
+// hardware-assisted load balancing (HAL, ISCA 2024).
+//
+// The package re-exports the composition layer (configure a server, offer
+// traffic, collect throughput/p99/power/energy-efficiency) and the
+// experiment drivers that regenerate every table and figure of the paper's
+// evaluation. Deeper substrates — the event engine, packet formats, DPDK
+// emulation, the coherence directory, the ten network functions — live
+// under internal/ and are exercised through this surface.
+//
+// Quickstart:
+//
+//	res, err := halsim.Run(
+//	    halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT},
+//	    halsim.RunConfig{Duration: 500 * halsim.Millisecond, RateGbps: 80},
+//	)
+//	fmt.Printf("%.1f Gbps at p99=%.0fµs using %.0f W\n",
+//	    res.AvgGbps, res.P99us, res.AvgPowerW)
+package halsim
+
+import (
+	"halsim/internal/cxl"
+	"halsim/internal/experiments"
+	"halsim/internal/nf"
+	"halsim/internal/platform"
+	"halsim/internal/server"
+	"halsim/internal/sim"
+	"halsim/internal/trace"
+)
+
+// Time is simulated time in nanoseconds.
+type Time = sim.Time
+
+// Common durations.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Mode selects who processes packets: the host processor, the SNIC
+// processor, HAL cooperative balancing, or the software balancer baseline.
+type Mode = server.Mode
+
+// Operating modes.
+const (
+	HostOnly = server.HostOnly
+	SNICOnly = server.SNICOnly
+	HAL      = server.HAL
+	SLB      = server.SLB
+	SLBHost  = server.SLBHost
+)
+
+// FnID identifies one of the ten benchmark network functions (Table IV).
+type FnID = nf.ID
+
+// The benchmark functions.
+const (
+	KVS    = nf.KVS
+	Count  = nf.Count
+	EMA    = nf.EMA
+	NAT    = nf.NAT
+	BM25   = nf.BM25
+	KNN    = nf.KNN
+	Bayes  = nf.Bayes
+	REM    = nf.REM
+	Crypto = nf.Crypto
+	Comp   = nf.Comp
+)
+
+// AllFunctions lists every benchmark function.
+var AllFunctions = nf.All
+
+// ParseFunction resolves a function name ("NAT", "REM", ...).
+func ParseFunction(name string) (FnID, error) { return nf.ParseID(name) }
+
+// Config describes a server setup; RunConfig one experiment run; Result
+// the collected metrics. See the server package for field documentation.
+type (
+	Config    = server.Config
+	RunConfig = server.RunConfig
+	Result    = server.Result
+)
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config, rc RunConfig) (Result, error) { return server.Run(cfg, rc) }
+
+// Workload identifies a datacenter traffic trace (Fig. 8).
+type Workload = trace.Workload
+
+// The three Meta workloads.
+const (
+	Web    = trace.Web
+	Cache  = trace.Cache
+	Hadoop = trace.Hadoop
+)
+
+// Workloads lists the three traces.
+var Workloads = trace.Workloads
+
+// Platform is a processor-complex model (service profiles + power).
+type Platform = platform.Platform
+
+// The four platform models.
+var (
+	BlueField2     = platform.BlueField2
+	HostXeon       = platform.HostXeon
+	BlueField3     = platform.BlueField3
+	SapphireRapids = platform.SapphireRapids
+)
+
+// FabricKind selects the SNIC attachment for stateful functions (§V-C).
+type FabricKind = cxl.FabricKind
+
+// Attachment kinds.
+const (
+	PCIe = cxl.PCIe
+	CXL  = cxl.CXL
+)
+
+// NewFabric builds a coherence fabric for cooperative stateful processing;
+// pass it via Config.Fabric. Only CXL fabrics admit stateful functions in
+// HAL/SLB modes.
+func NewFabric(kind FabricKind, nodes int) *cxl.Fabric { return cxl.NewFabric(kind, nodes) }
+
+// NewFabricCapped is NewFabric with a per-node cache capacity in 64-byte
+// lines: sharing that ages out of a cache costs a memory fill instead of a
+// coherence transfer.
+func NewFabricCapped(kind FabricKind, nodes, linesPerNode int) *cxl.Fabric {
+	return cxl.NewFabricCapped(kind, nodes, linesPerNode)
+}
+
+// ExperimentOptions controls experiment fidelity (durations, seed).
+type ExperimentOptions = experiments.Options
+
+// ExperimentTable is a rendered experiment artifact.
+type ExperimentTable = experiments.Table
+
+// Experiment drivers, one per paper artifact. Each returns results whose
+// Table/Tables methods render the corresponding figure or table.
+var (
+	CompareSNICHost = experiments.CompareSNICHost // Fig 2 + Fig 3
+	Fig4            = experiments.Fig4
+	Fig5            = experiments.Fig5
+	Fig8            = experiments.Fig8
+	Fig9            = experiments.Fig9
+	Fig10           = experiments.Fig10
+	Table1          = experiments.Table1
+	Table2          = experiments.Table2
+	Table5          = experiments.Table5
+	Costs           = experiments.Costs
+	Validate        = experiments.Validate
+)

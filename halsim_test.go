@@ -1,0 +1,72 @@
+package halsim_test
+
+import (
+	"testing"
+
+	"halsim"
+)
+
+func TestFacadeQuickRun(t *testing.T) {
+	res, err := halsim.Run(
+		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT},
+		halsim.RunConfig{Duration: 50 * halsim.Millisecond, RateGbps: 40},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgGbps < 35 {
+		t.Fatalf("delivered %.1f Gbps at 40 offered", res.AvgGbps)
+	}
+	if res.Mode != halsim.HAL || res.Fn != halsim.NAT {
+		t.Fatal("result identity wrong")
+	}
+}
+
+func TestFacadeParseFunction(t *testing.T) {
+	fn, err := halsim.ParseFunction("REM")
+	if err != nil || fn != halsim.REM {
+		t.Fatalf("ParseFunction: %v %v", fn, err)
+	}
+	if _, err := halsim.ParseFunction("nope"); err == nil {
+		t.Fatal("bad name should fail")
+	}
+	if len(halsim.AllFunctions) != 10 {
+		t.Fatalf("AllFunctions = %d", len(halsim.AllFunctions))
+	}
+}
+
+func TestFacadePlatforms(t *testing.T) {
+	for _, pl := range []*halsim.Platform{
+		halsim.BlueField2(), halsim.HostXeon(), halsim.BlueField3(), halsim.SapphireRapids(),
+	} {
+		if pl.Name == "" || pl.LineGbps == 0 {
+			t.Errorf("platform %+v incomplete", pl)
+		}
+	}
+}
+
+func TestFacadeFabric(t *testing.T) {
+	if halsim.NewFabric(halsim.PCIe, 2).SupportsCooperativeState() {
+		t.Fatal("PCIe fabric must not support cooperative state")
+	}
+	if !halsim.NewFabric(halsim.CXL, 2).SupportsCooperativeState() {
+		t.Fatal("CXL fabric must support cooperative state")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if len(halsim.Workloads) != 3 {
+		t.Fatal("expected three workloads")
+	}
+	w := halsim.Web
+	res, err := halsim.Run(
+		halsim.Config{Mode: halsim.SNICOnly, Fn: halsim.Count},
+		halsim.RunConfig{Duration: 100 * halsim.Millisecond, Workload: &w},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("trace run produced nothing")
+	}
+}

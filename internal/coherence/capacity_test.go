@@ -1,0 +1,148 @@
+package coherence
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCappedDirectoryEvictsLRU(t *testing.T) {
+	d := NewDirectoryCapped(2, 2)
+	d.Read(0, 1)
+	d.Read(0, 2)
+	d.Read(0, 3) // evicts line 1
+	if d.Stats(0).Evictions != 1 {
+		t.Fatalf("evictions = %d", d.Stats(0).Evictions)
+	}
+	if d.Resident(0, 1) {
+		t.Fatal("line 1 should have been evicted")
+	}
+	if !d.Resident(0, 2) || !d.Resident(0, 3) {
+		t.Fatal("lines 2,3 should be resident")
+	}
+	// Re-reading the evicted line is a fresh memory fill, not a hit.
+	if got := d.Read(0, 1); got != MemoryFetch {
+		t.Fatalf("re-read of evicted line = %v", got)
+	}
+}
+
+func TestCappedLRUTouchOrder(t *testing.T) {
+	d := NewDirectoryCapped(2, 2)
+	d.Read(0, 1)
+	d.Read(0, 2)
+	d.Read(0, 1) // touch 1 → LRU is now 2
+	d.Read(0, 3) // evicts 2
+	if d.Resident(0, 2) {
+		t.Fatal("line 2 should have been the LRU victim")
+	}
+	if !d.Resident(0, 1) {
+		t.Fatal("recently touched line 1 must stay")
+	}
+}
+
+func TestCappedDirtyEvictionWritesBack(t *testing.T) {
+	d := NewDirectoryCapped(2, 1)
+	d.Write(0, 1)
+	wbBefore := d.Stats(0).Writebacks
+	d.Write(0, 2) // evicts dirty line 1
+	if d.Stats(0).Writebacks != wbBefore+1 {
+		t.Fatal("evicting a dirty line must write back")
+	}
+}
+
+func TestCappedEvictionFreesRemoteCost(t *testing.T) {
+	// After node 0's copy falls out of its cache, node 1's write no
+	// longer pays an invalidation — the win of modeling capacity.
+	d := NewDirectoryCapped(2, 1)
+	d.Write(0, 1)
+	d.Write(0, 2) // line 1 evicted from node 0
+	if got := d.Write(1, 1); got != MemoryFetch {
+		t.Fatalf("write to evicted line = %v, want MemoryFetch", got)
+	}
+	// Contrast with the uncapped directory.
+	u := NewDirectory(2)
+	u.Write(0, 1)
+	u.Write(0, 2)
+	if got := u.Write(1, 1); got != RemoteInvalidate {
+		t.Fatalf("uncapped write = %v, want RemoteInvalidate", got)
+	}
+}
+
+func TestCappedInvalidationDropsResidency(t *testing.T) {
+	d := NewDirectoryCapped(2, 8)
+	d.Read(0, 5)
+	d.Read(1, 5)
+	d.Write(0, 5) // invalidates node 1's copy
+	if d.Resident(1, 5) {
+		t.Fatal("invalidated line must leave node 1's cache")
+	}
+	if d.ResidentLines(1) != 0 {
+		t.Fatalf("node 1 resident lines = %d", d.ResidentLines(1))
+	}
+}
+
+func TestCappedResidencyBounded(t *testing.T) {
+	const capLines = 16
+	d := NewDirectoryCapped(2, capLines)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		node := NodeID(i % 2)
+		addr := uint64(rng.Intn(1000))
+		if rng.Intn(3) == 0 {
+			d.Write(node, addr)
+		} else {
+			d.Read(node, addr)
+		}
+		if d.ResidentLines(0) > capLines || d.ResidentLines(1) > capLines {
+			t.Fatalf("residency exceeded capacity at step %d", i)
+		}
+	}
+	if d.TotalStats().Evictions == 0 {
+		t.Fatal("a 1000-line working set over 16-line caches must evict")
+	}
+}
+
+func TestCappedInvariantsUnderRandomTraffic(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		d := NewDirectoryCapped(3, 4)
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			node := NodeID(op % 3)
+			addr := uint64(op>>2) % 64
+			if rng.Intn(2) == 0 {
+				d.Read(node, addr)
+			} else {
+				d.Write(node, addr)
+			}
+			if msg := d.CheckInvariants(); msg != "" {
+				t.Log(msg)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityAccessors(t *testing.T) {
+	if NewDirectory(2).Capacity() != 0 {
+		t.Fatal("uncapped capacity should be 0")
+	}
+	if NewDirectoryCapped(2, 7).Capacity() != 7 {
+		t.Fatal("capacity accessor")
+	}
+	if NewDirectoryCapped(2, 0).Capacity() != 0 {
+		t.Fatal("zero capacity means unbounded")
+	}
+	// Resident/ResidentLines work without capacity too.
+	d := NewDirectory(2)
+	d.Read(0, 9)
+	if !d.Resident(0, 9) || d.Resident(1, 9) {
+		t.Fatal("uncapped residency from directory state")
+	}
+	if d.ResidentLines(0) != 1 {
+		t.Fatal("uncapped resident count")
+	}
+}

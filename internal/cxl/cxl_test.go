@@ -1,0 +1,143 @@
+package cxl
+
+import (
+	"testing"
+
+	"halsim/internal/coherence"
+	"halsim/internal/sim"
+)
+
+func TestFabricKinds(t *testing.T) {
+	if PCIe.String() != "pcie" || CXL.String() != "cxl" {
+		t.Fatal("kind strings")
+	}
+	if NewFabric(PCIe, 2).SupportsCooperativeState() {
+		t.Fatal("PCIe must not support cooperative state")
+	}
+	if !NewFabric(CXL, 2).SupportsCooperativeState() {
+		t.Fatal("CXL must support cooperative state")
+	}
+}
+
+func TestCXLAccessCosts(t *testing.T) {
+	f := NewFabric(CXL, 2)
+	c := f.Costs
+	// Cold read: memory.
+	if got := f.Access(0, 1, false); got != c.MemoryNS {
+		t.Fatalf("cold = %v", got)
+	}
+	// Warm read: local.
+	if got := f.Access(0, 1, false); got != c.LocalHitNS {
+		t.Fatalf("warm = %v", got)
+	}
+	// Cross read: remote.
+	if got := f.Access(1, 1, false); got != c.RemoteNS {
+		t.Fatalf("cross = %v", got)
+	}
+	// Cross write: invalidate.
+	if got := f.Access(0, 1, true); got != c.InvalidateNS {
+		t.Fatalf("inval = %v", got)
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	c := UPICosts()
+	if !(c.LocalHitNS < c.MemoryNS && c.MemoryNS < c.RemoteNS && c.RemoteNS <= c.InvalidateNS) {
+		t.Fatalf("cost ordering broken: %+v", c)
+	}
+	if c.SoftwareSyncNS <= c.InvalidateNS {
+		t.Fatal("software sync must dwarf hardware coherence")
+	}
+	if c.RemoteNS != sim.Time(500) {
+		t.Fatalf("remote hop should match §III-A's ~0.5µs: %v", c.RemoteNS)
+	}
+}
+
+func TestPCIeSharingPaysSoftwareSync(t *testing.T) {
+	f := NewFabric(PCIe, 2)
+	f.Access(0, 7, true)         // node 0 establishes the line
+	f.Access(0, 7, true)         // local again
+	got := f.Access(1, 7, false) // cross-node: software sync on PCIe
+	if got != f.Costs.SoftwareSyncNS {
+		t.Fatalf("PCIe cross access = %v, want software sync %v", got, f.Costs.SoftwareSyncNS)
+	}
+	// Private access on PCIe is just memory-class.
+	if got := f.Access(0, 99, false); got != f.Costs.MemoryNS {
+		t.Fatalf("PCIe private = %v", got)
+	}
+}
+
+func TestCXLBeatsPCIeForSharedState(t *testing.T) {
+	// The §V-C argument in one property: an interleaved shared-state
+	// workload costs far more over PCIe than over CXL.
+	run := func(kind FabricKind) sim.Time {
+		f := NewFabric(kind, 2)
+		var total sim.Time
+		for i := 0; i < 1000; i++ {
+			node := coherence.NodeID(i % 2)
+			total += f.Access(node, uint64(i%8), i%3 == 0)
+		}
+		return total
+	}
+	pcie, cxl := run(PCIe), run(CXL)
+	if cxl*2 >= pcie {
+		t.Fatalf("CXL (%v) should be far cheaper than PCIe (%v) for shared state", cxl, pcie)
+	}
+}
+
+func TestAccessAll(t *testing.T) {
+	f := NewFabric(CXL, 2)
+	lines := []uint64{1, 2, 3}
+	total := f.AccessAll(0, lines, false)
+	if total != 3*f.Costs.MemoryNS {
+		t.Fatalf("batch cold = %v", total)
+	}
+	if f.Directory().Lines() != 3 {
+		t.Fatal("directory should track all lines")
+	}
+	if f.AccessAll(0, nil, true) != 0 {
+		t.Fatal("empty batch should be free")
+	}
+}
+
+func TestDirectoryStatsExposed(t *testing.T) {
+	f := NewFabric(CXL, 2)
+	f.Access(0, 1, false)
+	f.Access(1, 1, false)
+	st := f.Directory().TotalStats()
+	if st.Accesses != 2 || st.RemoteFetches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAccessOverlapped(t *testing.T) {
+	f := NewFabric(CXL, 2)
+	// Establish three lines at node 1 so node 0's batch is all-remote.
+	for _, l := range []uint64{1, 2, 3} {
+		f.Access(1, l, true)
+	}
+	got := f.AccessOverlapped(0, []uint64{1, 2, 3}, true)
+	if got != f.Costs.InvalidateNS {
+		t.Fatalf("overlapped batch = %v, want one invalidate %v", got, f.Costs.InvalidateNS)
+	}
+	// All accesses were still recorded in the directory.
+	if st := f.Directory().TotalStats(); st.Invalidations != 3 {
+		t.Fatalf("invalidations = %d, want 3", st.Invalidations)
+	}
+	if f.AccessOverlapped(0, nil, false) != 0 {
+		t.Fatal("empty batch should be free")
+	}
+}
+
+func TestCappedFabric(t *testing.T) {
+	f := NewFabricCapped(CXL, 2, 1)
+	f.Access(0, 1, true)
+	f.Access(0, 2, true) // evicts line 1 from node 0
+	// Node 1 writing the evicted line pays memory, not invalidation.
+	if got := f.Access(1, 1, true); got != f.Costs.MemoryNS {
+		t.Fatalf("capped cross write = %v, want memory cost", got)
+	}
+	if NewFabricCapped(PCIe, 2, 0).Directory().Capacity() != 0 {
+		t.Fatal("zero cap should be unbounded")
+	}
+}

@@ -1,0 +1,226 @@
+// Package dpdk emulates the slice of DPDK the paper's software depends on:
+// per-core Rx rings with tail-drop, the rte_eth_rx_burst /
+// rte_eth_rx_queue_count polling interface the LBP algorithm consumes, and
+// the power-management API that puts polling cores to sleep and wakes them
+// on traffic (§V-B).
+package dpdk
+
+import (
+	"fmt"
+
+	"halsim/internal/packet"
+	"halsim/internal/sim"
+)
+
+// DefaultRingSize is the descriptor count of one Rx ring (DPDK's common
+// default).
+const DefaultRingSize = 1024
+
+// DefaultBurst is the rte_eth_rx_burst batch size.
+const DefaultBurst = 32
+
+// RxQueue is one bounded Rx ring. Arriving packets beyond capacity are
+// tail-dropped, as a NIC does when descriptors run out.
+type RxQueue struct {
+	buf   []*packet.Packet
+	head  int
+	count int
+
+	// Enqueued and Drops count ring-level arrivals and tail drops.
+	Enqueued uint64
+	Drops    uint64
+}
+
+// NewRxQueue returns an empty ring with the given descriptor count.
+func NewRxQueue(size int) *RxQueue {
+	if size <= 0 {
+		panic(fmt.Sprintf("dpdk: ring size %d", size))
+	}
+	return &RxQueue{buf: make([]*packet.Packet, size)}
+}
+
+// Enqueue places p at the ring tail, returning false (and counting a drop)
+// when the ring is full.
+func (q *RxQueue) Enqueue(p *packet.Packet) bool {
+	if q.count == len(q.buf) {
+		q.Drops++
+		return false
+	}
+	q.buf[(q.head+q.count)%len(q.buf)] = p
+	q.count++
+	q.Enqueued++
+	return true
+}
+
+// Burst removes and returns up to max packets — rte_eth_rx_burst.
+func (q *RxQueue) Burst(max int) []*packet.Packet {
+	n := q.count
+	if n > max {
+		n = max
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*packet.Packet, n)
+	for i := 0; i < n; i++ {
+		out[i] = q.buf[q.head]
+		q.buf[q.head] = nil
+		q.head = (q.head + 1) % len(q.buf)
+	}
+	q.count -= n
+	return out
+}
+
+// Pop removes and returns the head packet, or nil when empty.
+func (q *RxQueue) Pop() *packet.Packet {
+	if q.count == 0 {
+		return nil
+	}
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.count--
+	return p
+}
+
+// Count returns the current occupancy — rte_eth_rx_queue_count.
+func (q *RxQueue) Count() int { return q.count }
+
+// Cap returns the ring size.
+func (q *RxQueue) Cap() int { return len(q.buf) }
+
+// Port groups the per-core Rx rings of one interface and spreads arrivals
+// across them RSS-style (hash of the flow identity; we use the packet's
+// source port ^ ID so one flow stays on one queue while the aggregate
+// balances).
+type Port struct {
+	queues []*RxQueue
+}
+
+// NewPort creates a port with n rings of the given size.
+func NewPort(n, ringSize int) *Port {
+	if n <= 0 {
+		panic("dpdk: port needs at least one queue")
+	}
+	p := &Port{queues: make([]*RxQueue, n)}
+	for i := range p.queues {
+		p.queues[i] = NewRxQueue(ringSize)
+	}
+	return p
+}
+
+// NumQueues returns the ring count.
+func (p *Port) NumQueues() int { return len(p.queues) }
+
+// Queue returns ring i.
+func (p *Port) Queue(i int) *RxQueue { return p.queues[i] }
+
+// Deliver enqueues pkt on its RSS queue; false means it was tail-dropped.
+func (p *Port) Deliver(pkt *packet.Packet) bool {
+	h := uint64(pkt.SrcPort)<<16 ^ pkt.ID
+	return p.queues[h%uint64(len(p.queues))].Enqueue(pkt)
+}
+
+// MaxOccupancy returns the highest per-ring occupancy — what LBP's
+// Algorithm 1 computes by calling rte_eth_rx_queue_count per queue and
+// taking the max.
+func (p *Port) MaxOccupancy() int {
+	max := 0
+	for _, q := range p.queues {
+		if q.Count() > max {
+			max = q.Count()
+		}
+	}
+	return max
+}
+
+// TotalBacklog sums occupancy over all rings.
+func (p *Port) TotalBacklog() int {
+	n := 0
+	for _, q := range p.queues {
+		n += q.Count()
+	}
+	return n
+}
+
+// TotalDrops sums tail drops over all rings.
+func (p *Port) TotalDrops() uint64 {
+	var n uint64
+	for _, q := range p.queues {
+		n += q.Drops
+	}
+	return n
+}
+
+// TotalEnqueued sums ring arrivals.
+func (p *Port) TotalEnqueued() uint64 {
+	var n uint64
+	for _, q := range p.queues {
+		n += q.Enqueued
+	}
+	return n
+}
+
+// SleepController models the DPDK power-management API: polling cores are
+// put into a sleep state after IdleThreshold without traffic; the first
+// arrival afterwards pays WakePenalty before processing resumes (§V-B).
+type SleepController struct {
+	// IdleThreshold is how long the queues must stay empty before the
+	// cores sleep. Zero disables sleeping entirely.
+	IdleThreshold sim.Time
+	// WakePenalty is the latency added to the packet that triggers a
+	// wake-up.
+	WakePenalty sim.Time
+
+	asleep    bool
+	idleSince sim.Time
+	everBusy  bool
+
+	// Wakeups counts sleep→wake transitions; SleepTime integrates time
+	// spent asleep for the power model.
+	Wakeups   uint64
+	SleepTime sim.Time
+	sleptAt   sim.Time
+}
+
+// Asleep reports whether the cores are currently sleeping.
+func (s *SleepController) Asleep() bool { return s.asleep }
+
+// OnIdle tells the controller the queues were observed empty at time now.
+func (s *SleepController) OnIdle(now sim.Time) {
+	if s.IdleThreshold == 0 || s.asleep {
+		return
+	}
+	if !s.everBusy {
+		// Start the idle clock on first observation.
+		s.everBusy = true
+		s.idleSince = now
+	}
+	if now-s.idleSince >= s.IdleThreshold {
+		s.asleep = true
+		s.sleptAt = now
+	}
+}
+
+// OnTraffic tells the controller a packet arrived at time now. It returns
+// the wake-up penalty to charge (zero when already awake).
+func (s *SleepController) OnTraffic(now sim.Time) sim.Time {
+	s.idleSince = now
+	s.everBusy = true
+	if !s.asleep {
+		return 0
+	}
+	s.asleep = false
+	s.Wakeups++
+	s.SleepTime += now - s.sleptAt
+	return s.WakePenalty
+}
+
+// SleptUntil accounts residual sleep time when a run ends at time end.
+func (s *SleepController) SleptUntil(end sim.Time) sim.Time {
+	total := s.SleepTime
+	if s.asleep && end > s.sleptAt {
+		total += end - s.sleptAt
+	}
+	return total
+}

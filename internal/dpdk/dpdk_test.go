@@ -1,0 +1,230 @@
+package dpdk
+
+import (
+	"testing"
+
+	"halsim/internal/packet"
+	"halsim/internal/sim"
+)
+
+func pkt(id uint64) *packet.Packet {
+	p := packet.New(packet.Addr{}, packet.Addr{}, uint16(id), 9, nil)
+	p.ID = id
+	return p
+}
+
+func TestRxQueueFIFO(t *testing.T) {
+	q := NewRxQueue(8)
+	for i := uint64(0); i < 5; i++ {
+		if !q.Enqueue(pkt(i)) {
+			t.Fatal("enqueue failed")
+		}
+	}
+	if q.Count() != 5 {
+		t.Fatalf("count = %d", q.Count())
+	}
+	got := q.Burst(3)
+	if len(got) != 3 || got[0].ID != 0 || got[2].ID != 2 {
+		t.Fatalf("burst = %v", got)
+	}
+	if q.Count() != 2 {
+		t.Fatalf("count after burst = %d", q.Count())
+	}
+	if p := q.Pop(); p == nil || p.ID != 3 {
+		t.Fatalf("pop = %v", p)
+	}
+}
+
+func TestRxQueueTailDrop(t *testing.T) {
+	q := NewRxQueue(2)
+	q.Enqueue(pkt(1))
+	q.Enqueue(pkt(2))
+	if q.Enqueue(pkt(3)) {
+		t.Fatal("full ring must drop")
+	}
+	if q.Drops != 1 || q.Enqueued != 2 {
+		t.Fatalf("drops/enqueued = %d/%d", q.Drops, q.Enqueued)
+	}
+}
+
+func TestRxQueueWrapAround(t *testing.T) {
+	q := NewRxQueue(4)
+	id := uint64(0)
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			if !q.Enqueue(pkt(id)) {
+				t.Fatal("unexpected drop")
+			}
+			id++
+		}
+		got := q.Burst(3)
+		if len(got) != 3 {
+			t.Fatalf("burst = %d", len(got))
+		}
+		for i, p := range got {
+			want := id - 3 + uint64(i)
+			if p.ID != want {
+				t.Fatalf("round %d: got %d want %d", round, p.ID, want)
+			}
+		}
+	}
+}
+
+func TestBurstEmptyAndPopEmpty(t *testing.T) {
+	q := NewRxQueue(4)
+	if q.Burst(8) != nil {
+		t.Fatal("empty burst should be nil")
+	}
+	if q.Pop() != nil {
+		t.Fatal("empty pop should be nil")
+	}
+}
+
+func TestNewRxQueuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRxQueue(0)
+}
+
+func TestPortRSSSpreadsAndPins(t *testing.T) {
+	p := NewPort(4, 64)
+	// Same flow (src port) with same ID bits goes to the same ring.
+	a := pkt(100)
+	b := pkt(100)
+	a.SrcPort, b.SrcPort = 7, 7
+	p.Deliver(a)
+	p.Deliver(b)
+	together := false
+	for i := 0; i < 4; i++ {
+		if p.Queue(i).Count() == 2 {
+			together = true
+		}
+	}
+	if !together {
+		t.Fatal("identical flow should pin to one ring")
+	}
+	// Many flows spread across all rings.
+	p2 := NewPort(4, 1024)
+	for i := uint64(0); i < 1000; i++ {
+		q := pkt(i)
+		q.SrcPort = uint16(i * 31)
+		p2.Deliver(q)
+	}
+	for i := 0; i < 4; i++ {
+		if p2.Queue(i).Count() == 0 {
+			t.Fatalf("ring %d starved by RSS", i)
+		}
+	}
+	if p2.TotalBacklog() != 1000 {
+		t.Fatalf("backlog = %d", p2.TotalBacklog())
+	}
+	if p2.TotalEnqueued() != 1000 || p2.TotalDrops() != 0 {
+		t.Fatal("counters wrong")
+	}
+}
+
+func TestMaxOccupancy(t *testing.T) {
+	p := NewPort(2, 16)
+	for i := 0; i < 5; i++ {
+		p.Queue(0).Enqueue(pkt(uint64(i)))
+	}
+	p.Queue(1).Enqueue(pkt(99))
+	if p.MaxOccupancy() != 5 {
+		t.Fatalf("max occupancy = %d", p.MaxOccupancy())
+	}
+	if p.NumQueues() != 2 {
+		t.Fatal("queue count")
+	}
+}
+
+func TestNewPortPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewPort(0, 16)
+}
+
+func TestSleepControllerLifecycle(t *testing.T) {
+	s := &SleepController{IdleThreshold: 100, WakePenalty: 30}
+	// Not yet asleep: idle clock starts at first OnIdle.
+	s.OnIdle(0)
+	if s.Asleep() {
+		t.Fatal("should not sleep instantly")
+	}
+	s.OnIdle(50)
+	if s.Asleep() {
+		t.Fatal("idle threshold not reached")
+	}
+	s.OnIdle(150)
+	if !s.Asleep() {
+		t.Fatal("should sleep after threshold")
+	}
+	// Wake on traffic: penalty charged once.
+	if pen := s.OnTraffic(200); pen != 30 {
+		t.Fatalf("wake penalty = %d", pen)
+	}
+	if s.Asleep() || s.Wakeups != 1 {
+		t.Fatal("should be awake with one wakeup")
+	}
+	if s.SleepTime != 50 {
+		t.Fatalf("sleep time = %d, want 50", s.SleepTime)
+	}
+	// Awake traffic: no penalty.
+	if pen := s.OnTraffic(210); pen != 0 {
+		t.Fatalf("awake penalty = %d", pen)
+	}
+}
+
+func TestSleepControllerDisabled(t *testing.T) {
+	s := &SleepController{} // IdleThreshold 0 → never sleeps
+	s.OnIdle(0)
+	s.OnIdle(1 << 40)
+	if s.Asleep() {
+		t.Fatal("disabled controller must never sleep")
+	}
+}
+
+func TestSleepControllerIdleClockResetsOnTraffic(t *testing.T) {
+	s := &SleepController{IdleThreshold: 100, WakePenalty: 10}
+	s.OnIdle(0)
+	s.OnTraffic(90) // resets idle clock
+	s.OnIdle(150)   // only 60 idle
+	if s.Asleep() {
+		t.Fatal("traffic should reset the idle clock")
+	}
+	s.OnIdle(195)
+	if !s.Asleep() {
+		t.Fatal("should sleep 100 after last traffic")
+	}
+}
+
+func TestSleptUntil(t *testing.T) {
+	s := &SleepController{IdleThreshold: 10, WakePenalty: 1}
+	s.OnIdle(0)
+	s.OnIdle(20) // asleep at 20
+	if got := s.SleptUntil(120); got != 100 {
+		t.Fatalf("SleptUntil = %d, want 100", got)
+	}
+	s.OnTraffic(70)
+	if got := s.SleptUntil(120); got != 50 {
+		t.Fatalf("SleptUntil after wake = %d, want 50", got)
+	}
+	_ = sim.Time(0)
+}
+
+func BenchmarkEnqueueBurst(b *testing.B) {
+	q := NewRxQueue(DefaultRingSize)
+	p := pkt(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q.Enqueue(p)
+		if q.Count() >= DefaultBurst {
+			q.Burst(DefaultBurst)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package energy integrates instantaneous power samples over simulated
+// time into energy and efficiency figures — the simulator's stand-in for
+// the paper's DCMI/Yocto-Watt measurement rig (§VI), which likewise samples
+// wall power periodically and averages.
+package energy
+
+import "halsim/internal/sim"
+
+// Integrator accumulates a piecewise-constant power signal.
+type Integrator struct {
+	lastT   sim.Time
+	lastW   float64
+	joules  float64
+	elapsed sim.Time
+	started bool
+	peakW   float64
+	troughW float64
+}
+
+// Sample records that power was watts from the previous sample time until
+// now. The first call only establishes the baseline.
+func (in *Integrator) Sample(now sim.Time, watts float64) {
+	if !in.started {
+		in.started = true
+		in.lastT = now
+		in.lastW = watts
+		in.peakW = watts
+		in.troughW = watts
+		return
+	}
+	dt := now - in.lastT
+	if dt < 0 {
+		panic("energy: time went backwards")
+	}
+	in.joules += in.lastW * dt.Seconds()
+	in.elapsed += dt
+	in.lastT = now
+	in.lastW = watts
+	if watts > in.peakW {
+		in.peakW = watts
+	}
+	if watts < in.troughW {
+		in.troughW = watts
+	}
+}
+
+// Joules returns the integrated energy.
+func (in *Integrator) Joules() float64 { return in.joules }
+
+// Elapsed returns the covered time span.
+func (in *Integrator) Elapsed() sim.Time { return in.elapsed }
+
+// AvgWatts returns the time-weighted average power (0 before two samples).
+func (in *Integrator) AvgWatts() float64 {
+	if in.elapsed <= 0 {
+		return 0
+	}
+	return in.joules / in.elapsed.Seconds()
+}
+
+// PeakWatts and TroughWatts return the observed extremes.
+func (in *Integrator) PeakWatts() float64   { return in.peakW }
+func (in *Integrator) TroughWatts() float64 { return in.troughW }
+
+// EfficiencyGbpsPerWatt is the paper's energy-efficiency metric:
+// throughput divided by average power.
+func EfficiencyGbpsPerWatt(throughputGbps, avgWatts float64) float64 {
+	if avgWatts <= 0 {
+		return 0
+	}
+	return throughputGbps / avgWatts
+}

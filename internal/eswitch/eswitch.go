@@ -1,0 +1,144 @@
+// Package eswitch models the BlueField embedded switch (eSwitch) acting as
+// the OvS data plane (§II-A): a match-action table over destination
+// MAC/IP that forwards packets to named ports (SNIC CPU path, host PCIe
+// path, wire). The SNIC CPU — or HAL at boot — programs the rules; the
+// switch then routes each packet by its destination identity, which is
+// exactly the mechanism HAL's traffic director relies on after rewriting
+// addresses.
+package eswitch
+
+import (
+	"fmt"
+
+	"halsim/internal/packet"
+)
+
+// PortID names an eSwitch port.
+type PortID int
+
+// The ports of a BF-2 eSwitch as used in the paper.
+const (
+	PortWire PortID = iota // physical Ethernet port
+	PortSNIC               // SNIC CPU / accelerator path
+	PortHost               // PCIe path to the host CPU
+	numPorts
+)
+
+func (p PortID) String() string {
+	switch p {
+	case PortWire:
+		return "wire"
+	case PortSNIC:
+		return "snic"
+	case PortHost:
+		return "host"
+	default:
+		return fmt.Sprintf("port(%d)", int(p))
+	}
+}
+
+// Rule is one match-action entry: packets whose destination matches are
+// forwarded to Out. Zero-valued match fields are wildcards.
+type Rule struct {
+	MatchMAC *packet.MAC
+	MatchIP  *packet.IPv4
+	Out      PortID
+	// Priority breaks ties; higher wins. Equal priorities match in
+	// insertion order.
+	Priority int
+
+	// Hits counts packets forwarded by this rule.
+	Hits uint64
+}
+
+func (r *Rule) matches(p *packet.Packet) bool {
+	if r.MatchMAC != nil && *r.MatchMAC != p.DstMAC {
+		return false
+	}
+	if r.MatchIP != nil && *r.MatchIP != p.DstIP {
+		return false
+	}
+	return true
+}
+
+// Sink receives packets forwarded to a port.
+type Sink func(*packet.Packet)
+
+// Switch is the eSwitch. It is not safe for concurrent use; the simulator
+// is single-threaded by design.
+type Switch struct {
+	rules []*Rule
+	sinks [numPorts]Sink
+
+	// Forwarded counts per-port deliveries; Dropped counts packets with
+	// no matching rule or an unbound port.
+	Forwarded [numPorts]uint64
+	Dropped   uint64
+}
+
+// New returns an empty switch; unbound ports drop.
+func New() *Switch { return &Switch{} }
+
+// Bind attaches the sink for a port.
+func (s *Switch) Bind(port PortID, sink Sink) {
+	if port < 0 || port >= numPorts {
+		panic(fmt.Sprintf("eswitch: bad port %d", port))
+	}
+	s.sinks[port] = sink
+}
+
+// AddRule installs a rule and returns it for counter inspection.
+func (s *Switch) AddRule(r Rule) *Rule {
+	if r.Out < 0 || r.Out >= numPorts {
+		panic(fmt.Sprintf("eswitch: bad out port %d", r.Out))
+	}
+	rp := &r
+	// Insert keeping descending priority, stable within equal priority.
+	pos := len(s.rules)
+	for i, existing := range s.rules {
+		if existing.Priority < rp.Priority {
+			pos = i
+			break
+		}
+	}
+	s.rules = append(s.rules, nil)
+	copy(s.rules[pos+1:], s.rules[pos:])
+	s.rules[pos] = rp
+	return rp
+}
+
+// NumRules returns the installed rule count.
+func (s *Switch) NumRules() int { return len(s.rules) }
+
+// ClearRules removes all rules.
+func (s *Switch) ClearRules() { s.rules = nil }
+
+// Forward routes p by the first matching rule. Unmatched packets are
+// dropped and counted.
+func (s *Switch) Forward(p *packet.Packet) {
+	for _, r := range s.rules {
+		if r.matches(p) {
+			r.Hits++
+			s.Forwarded[r.Out]++
+			if sink := s.sinks[r.Out]; sink != nil {
+				sink(p)
+			}
+			return
+		}
+	}
+	s.Dropped++
+}
+
+// ConfigureHAL installs the standard HAL/SLB forwarding configuration
+// (§IV, §V-A): packets addressed to the SNIC identity go to the SNIC CPU
+// port, packets addressed to the (client-hidden) host identity go to the
+// host PCIe port, and everything else — responses addressed to clients —
+// goes to the wire.
+func (s *Switch) ConfigureHAL(snicAddr, hostAddr packet.Addr) {
+	s.ClearRules()
+	snicIP, hostIP := snicAddr.IP, hostAddr.IP
+	snicMAC, hostMAC := snicAddr.MAC, hostAddr.MAC
+	s.AddRule(Rule{MatchMAC: &snicMAC, MatchIP: &snicIP, Out: PortSNIC, Priority: 10})
+	s.AddRule(Rule{MatchMAC: &hostMAC, MatchIP: &hostIP, Out: PortHost, Priority: 10})
+	s.AddRule(Rule{Out: PortWire, Priority: 0}) // default: egress
+}

@@ -1,0 +1,189 @@
+package eswitch
+
+import (
+	"testing"
+
+	"halsim/internal/packet"
+)
+
+var (
+	snicAddr = packet.Addr{MAC: packet.MAC{2, 0, 0, 0, 0, 1}, IP: packet.IPv4{10, 0, 0, 1}}
+	hostAddr = packet.Addr{MAC: packet.MAC{2, 0, 0, 0, 0, 2}, IP: packet.IPv4{10, 0, 0, 2}}
+	cliAddr  = packet.Addr{MAC: packet.MAC{2, 0, 0, 0, 0, 9}, IP: packet.IPv4{10, 0, 0, 9}}
+)
+
+func to(dst packet.Addr) *packet.Packet {
+	return packet.New(cliAddr, dst, 1000, 2000, nil)
+}
+
+func TestConfigureHALRouting(t *testing.T) {
+	s := New()
+	var got [numPorts][]*packet.Packet
+	for port := PortID(0); port < numPorts; port++ {
+		port := port
+		s.Bind(port, func(p *packet.Packet) { got[port] = append(got[port], p) })
+	}
+	s.ConfigureHAL(snicAddr, hostAddr)
+
+	s.Forward(to(snicAddr))
+	s.Forward(to(hostAddr))
+	s.Forward(to(cliAddr)) // response path → wire
+
+	if len(got[PortSNIC]) != 1 || len(got[PortHost]) != 1 || len(got[PortWire]) != 1 {
+		t.Fatalf("deliveries = snic:%d host:%d wire:%d",
+			len(got[PortSNIC]), len(got[PortHost]), len(got[PortWire]))
+	}
+	if s.Forwarded[PortSNIC] != 1 || s.Forwarded[PortHost] != 1 || s.Forwarded[PortWire] != 1 {
+		t.Fatalf("counters = %v", s.Forwarded)
+	}
+	if s.Dropped != 0 {
+		t.Fatal("nothing should drop with the default rule installed")
+	}
+}
+
+func TestRewrittenPacketChangesRoute(t *testing.T) {
+	// The HAL traffic-director flow: a packet arrives addressed to the
+	// SNIC; after RewriteDst to the host identity, the same switch
+	// delivers it to the host port.
+	s := New()
+	var snicN, hostN int
+	s.Bind(PortSNIC, func(*packet.Packet) { snicN++ })
+	s.Bind(PortHost, func(*packet.Packet) { hostN++ })
+	s.Bind(PortWire, func(*packet.Packet) {})
+	s.ConfigureHAL(snicAddr, hostAddr)
+
+	p := to(snicAddr)
+	p.Marshal()
+	s.Forward(p)
+	p2 := to(snicAddr)
+	p2.Marshal()
+	p2.RewriteDst(hostAddr)
+	s.Forward(p2)
+	if snicN != 1 || hostN != 1 {
+		t.Fatalf("snic=%d host=%d", snicN, hostN)
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	s := New()
+	var hits []string
+	s.Bind(PortSNIC, func(*packet.Packet) { hits = append(hits, "lo") })
+	s.Bind(PortHost, func(*packet.Packet) { hits = append(hits, "hi") })
+	ip := snicAddr.IP
+	s.AddRule(Rule{MatchIP: &ip, Out: PortSNIC, Priority: 1})
+	s.AddRule(Rule{MatchIP: &ip, Out: PortHost, Priority: 5})
+	s.Forward(to(snicAddr))
+	if len(hits) != 1 || hits[0] != "hi" {
+		t.Fatalf("hits = %v, higher priority must win", hits)
+	}
+}
+
+func TestEqualPriorityInsertionOrder(t *testing.T) {
+	s := New()
+	var out []PortID
+	s.Bind(PortSNIC, func(*packet.Packet) { out = append(out, PortSNIC) })
+	s.Bind(PortHost, func(*packet.Packet) { out = append(out, PortHost) })
+	s.AddRule(Rule{Out: PortSNIC, Priority: 3})
+	s.AddRule(Rule{Out: PortHost, Priority: 3})
+	s.Forward(to(cliAddr))
+	if len(out) != 1 || out[0] != PortSNIC {
+		t.Fatal("equal priority should match in insertion order")
+	}
+}
+
+func TestUnmatchedDrops(t *testing.T) {
+	s := New()
+	mac := snicAddr.MAC
+	s.AddRule(Rule{MatchMAC: &mac, Out: PortSNIC})
+	s.Forward(to(hostAddr))
+	if s.Dropped != 1 {
+		t.Fatalf("dropped = %d", s.Dropped)
+	}
+}
+
+func TestUnboundPortCountsButDoesNotPanic(t *testing.T) {
+	s := New()
+	s.AddRule(Rule{Out: PortWire})
+	s.Forward(to(cliAddr))
+	if s.Forwarded[PortWire] != 1 {
+		t.Fatal("forward counter should tick even without a sink")
+	}
+}
+
+func TestRuleHitCounters(t *testing.T) {
+	s := New()
+	s.Bind(PortSNIC, func(*packet.Packet) {})
+	ip := snicAddr.IP
+	r := s.AddRule(Rule{MatchIP: &ip, Out: PortSNIC})
+	for i := 0; i < 7; i++ {
+		s.Forward(to(snicAddr))
+	}
+	if r.Hits != 7 {
+		t.Fatalf("hits = %d", r.Hits)
+	}
+}
+
+func TestMACOnlyAndWildcardMatching(t *testing.T) {
+	s := New()
+	var n int
+	s.Bind(PortHost, func(*packet.Packet) { n++ })
+	mac := hostAddr.MAC
+	s.AddRule(Rule{MatchMAC: &mac, Out: PortHost})
+	p := to(hostAddr)
+	p.DstIP = packet.IPv4{1, 2, 3, 4} // different IP, same MAC
+	s.Forward(p)
+	if n != 1 {
+		t.Fatal("MAC-only rule should ignore IP")
+	}
+}
+
+func TestClearRules(t *testing.T) {
+	s := New()
+	s.ConfigureHAL(snicAddr, hostAddr)
+	if s.NumRules() != 3 {
+		t.Fatalf("rules = %d", s.NumRules())
+	}
+	s.ClearRules()
+	if s.NumRules() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestBadPortPanics(t *testing.T) {
+	s := New()
+	for _, f := range []func(){
+		func() { s.Bind(PortID(99), nil) },
+		func() { s.AddRule(Rule{Out: PortID(99)}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPortStrings(t *testing.T) {
+	if PortWire.String() != "wire" || PortSNIC.String() != "snic" || PortHost.String() != "host" {
+		t.Fatal("port names")
+	}
+	if PortID(9).String() != "port(9)" {
+		t.Fatal("unknown port name")
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	s := New()
+	s.Bind(PortSNIC, func(*packet.Packet) {})
+	s.Bind(PortHost, func(*packet.Packet) {})
+	s.Bind(PortWire, func(*packet.Packet) {})
+	s.ConfigureHAL(snicAddr, hostAddr)
+	p := to(snicAddr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Forward(p)
+	}
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import "halsim/internal/platform"
+
+// Table1 renders the acceleration-support matrix of the paper's Table I.
+func Table1() Table {
+	t := Table{
+		Title:   "Table I: BF-2 functions also supported by Intel ISA extensions and/or QAT",
+		Headers: []string{"Function", "ISA", "QAT"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "x"
+		}
+		return ""
+	}
+	for _, s := range platform.Table1() {
+		t.Rows = append(t.Rows, []string{s.Function, mark(s.ISA), mark(s.QAT)})
+	}
+	return t
+}

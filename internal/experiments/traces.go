@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+
+	"halsim/internal/cxl"
+	"halsim/internal/nf"
+	"halsim/internal/server"
+	"halsim/internal/trace"
+)
+
+// Fig8 summarizes the three synthetic datacenter traces: the log-normal
+// parameters, a snapshot's statistics, and the CDF the fits target.
+func Fig8(opt Options) Table {
+	opt = opt.withDefaults()
+	t := Table{
+		Title:   "Fig 8: datacenter traffic traces (log-normal rate processes)",
+		Headers: []string{"Workload", "mu", "sigma", "mean (Gbps)", "p50", "p99", "max", "CDF<=1G", "CDF<=10G", "CDF<=50G"},
+		Notes: []string{
+			"paper averages: web 1.6, cache 5.2, hadoop 10.9 Gbps",
+		},
+	}
+	for _, w := range trace.Workloads {
+		p := trace.ParamsFor(w)
+		g := trace.NewWorkloadGenerator(w, opt.Seed+100)
+		snap := g.Snapshot(20000)
+		s := trace.Summarize(snap)
+		cdf := trace.CDF(snap, []float64{1, 10, 50})
+		t.Rows = append(t.Rows, []string{
+			w.String(), f2(p.Mu), f2(p.Sigma),
+			f2(s.Mean), f2(s.P50), f1(s.P99), f1(s.Max),
+			f2(cdf[0]), f2(cdf[1]), f2(cdf[2]),
+		})
+	}
+	return t
+}
+
+// Tab5Config is one Table V workload row (a single function or a pipeline).
+type Tab5Config struct {
+	Name     string
+	Fn       nf.ID
+	Pipeline nf.ID
+	Piped    bool
+	Stateful bool
+}
+
+// tab5Configs lists the 6 single + 4 pipelined configurations of §VII-B.
+func tab5Configs() []Tab5Config {
+	return []Tab5Config{
+		{Name: "KNN", Fn: nf.KNN},
+		{Name: "NAT", Fn: nf.NAT},
+		{Name: "Count", Fn: nf.Count, Stateful: true},
+		{Name: "EMA", Fn: nf.EMA, Stateful: true},
+		{Name: "REM", Fn: nf.REM},
+		{Name: "Crypto", Fn: nf.Crypto},
+		{Name: "NAT+REM", Fn: nf.NAT, Pipeline: nf.REM, Piped: true},
+		{Name: "NAT+Crypto", Fn: nf.NAT, Pipeline: nf.Crypto, Piped: true},
+		{Name: "Count+REM", Fn: nf.Count, Pipeline: nf.REM, Piped: true, Stateful: true},
+		{Name: "Count+Crypto", Fn: nf.Count, Pipeline: nf.Crypto, Piped: true, Stateful: true},
+	}
+}
+
+// Tab5Cell is one (workload, config, mode) measurement.
+type Tab5Cell struct {
+	MaxGbps float64
+	AvgGbps float64
+	P99us   float64
+	PowerW  float64
+}
+
+// Tab5Row is one Table V line.
+type Tab5Row struct {
+	Workload trace.Workload
+	Config   string
+	SNIC     Tab5Cell
+	Host     Tab5Cell
+	HAL      Tab5Cell
+}
+
+// Tab5Result powers Table V.
+type Tab5Result struct {
+	Rows []Tab5Row
+}
+
+// Table5 runs the three datacenter workloads over the ten configurations
+// and three modes. Stateful configurations run HAL over the emulated
+// CXL-SNIC fabric (§V-C); SNIC-only and host-only runs do not share state
+// across processors, so they use no fabric, exactly like the paper's
+// methodology.
+func Table5(opt Options) (Tab5Result, error) {
+	opt = opt.withDefaults()
+	type rowSpec struct {
+		w trace.Workload
+		c Tab5Config
+	}
+	var specs []rowSpec
+	for _, w := range trace.Workloads {
+		for _, c := range tab5Configs() {
+			specs = append(specs, rowSpec{w, c})
+		}
+	}
+	rows := make([]Tab5Row, len(specs))
+	err := parMap(len(specs), func(i int) error {
+		w, c := specs[i].w, specs[i].c
+		row := Tab5Row{Workload: w, Config: c.Name}
+		for _, mode := range []server.Mode{server.SNICOnly, server.HostOnly, server.HAL} {
+			cfg := server.Config{
+				Mode: mode, Fn: c.Fn, Seed: opt.Seed,
+				PipelineOn: c.Piped, Pipeline: c.Pipeline,
+			}
+			if c.Stateful && mode == server.HAL {
+				cfg.Fabric = cxl.NewFabric(cxl.CXL, 2)
+			}
+			wl := w
+			res, err := server.Run(cfg, server.RunConfig{
+				Duration: opt.TraceDuration, Workload: &wl,
+			})
+			if err != nil {
+				return fmt.Errorf("tab5 %v/%s/%v: %w", w, c.Name, mode, err)
+			}
+			cell := Tab5Cell{MaxGbps: res.MaxGbps, AvgGbps: res.AvgGbps, P99us: res.P99us, PowerW: res.AvgPowerW}
+			switch mode {
+			case server.SNICOnly:
+				row.SNIC = cell
+			case server.HostOnly:
+				row.Host = cell
+			case server.HAL:
+				row.HAL = cell
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	return Tab5Result{Rows: rows}, err
+}
+
+// Table renders Table V.
+func (r Tab5Result) Table() Table {
+	t := Table{
+		Title: "Table V: throughput, p99 latency, and power per workload/function/mode",
+		Headers: []string{"Workload", "Function",
+			"SNIC max(avg) TP", "Host max(avg) TP", "HAL max(avg) TP",
+			"SNIC p99", "Host p99", "HAL p99",
+			"SNIC W", "Host W", "HAL W"},
+		Notes: []string{
+			"paper shape: HAL max TP >= Host max TP; HAL p99 << SNIC p99; HAL power ~= SNIC power",
+		},
+	}
+	tp := func(c Tab5Cell) string { return fmt.Sprintf("%.1f(%.1f)", c.MaxGbps, c.AvgGbps) }
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Workload.String(), row.Config,
+			tp(row.SNIC), tp(row.Host), tp(row.HAL),
+			f1(row.SNIC.P99us), f1(row.Host.P99us), f1(row.HAL.P99us),
+			f1(row.SNIC.PowerW), f1(row.Host.PowerW), f1(row.HAL.PowerW),
+		})
+	}
+	return t
+}
+
+// Summary computes the headline aggregates the abstract quotes: HAL's
+// energy-efficiency and throughput gains over host-only, and its p99
+// reduction versus SNIC-only, averaged per workload.
+type Tab5Summary struct {
+	Workload          trace.Workload
+	EEGainVsHost      float64 // (HAL avgTP/W) / (host avgTP/W) - 1
+	MaxTPGainVsHost   float64
+	P99CutVsSNIC      float64 // 1 - HAL p99 / SNIC p99
+	PowerSavedVsHostW float64
+}
+
+// Summarize aggregates Table V per workload (geometric-mean-free simple
+// averages, like the paper's per-workload averages).
+func (r Tab5Result) Summarize() []Tab5Summary {
+	byW := map[trace.Workload][]Tab5Row{}
+	for _, row := range r.Rows {
+		byW[row.Workload] = append(byW[row.Workload], row)
+	}
+	var out []Tab5Summary
+	for _, w := range trace.Workloads {
+		rows := byW[w]
+		if len(rows) == 0 {
+			continue
+		}
+		var s Tab5Summary
+		s.Workload = w
+		n := float64(len(rows))
+		for _, row := range rows {
+			if row.Host.PowerW > 0 && row.HAL.PowerW > 0 && row.Host.AvgGbps > 0 {
+				eeHost := row.Host.AvgGbps / row.Host.PowerW
+				eeHAL := row.HAL.AvgGbps / row.HAL.PowerW
+				if eeHost > 0 {
+					s.EEGainVsHost += (eeHAL/eeHost - 1) / n
+				}
+			}
+			if row.Host.MaxGbps > 0 {
+				s.MaxTPGainVsHost += (row.HAL.MaxGbps/row.Host.MaxGbps - 1) / n
+			}
+			if row.SNIC.P99us > 0 {
+				s.P99CutVsSNIC += (1 - row.HAL.P99us/row.SNIC.P99us) / n
+			}
+			s.PowerSavedVsHostW += (row.Host.PowerW - row.HAL.PowerW) / n
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SummaryTable renders the per-workload aggregates.
+func (r Tab5Result) SummaryTable() Table {
+	t := Table{
+		Title:   "Table V summary: HAL vs baselines per workload",
+		Headers: []string{"Workload", "EE gain vs host", "max TP gain vs host", "p99 cut vs SNIC", "power saved vs host (W)"},
+		Notes: []string{
+			"paper headline: +31% energy efficiency, +10% throughput, p99 64-94% below SNIC-only",
+		},
+	}
+	for _, s := range r.Summarize() {
+		t.Rows = append(t.Rows, []string{
+			s.Workload.String(),
+			fmt.Sprintf("%+.1f%%", s.EEGainVsHost*100),
+			fmt.Sprintf("%+.1f%%", s.MaxTPGainVsHost*100),
+			fmt.Sprintf("%.1f%%", s.P99CutVsSNIC*100),
+			f1(s.PowerSavedVsHostW),
+		})
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+// Package lzh implements a Deflate-class lossless codec — LZ77 matching
+// over a 32KB window followed by canonical Huffman entropy coding — used by
+// the Comp benchmark function. The format is self-describing and
+// self-contained; it is not RFC 1951 bit-compatible, but exercises the same
+// algorithmic pipeline the BlueField-2 and QAT Deflate engines implement.
+package lzh
+
+import "errors"
+
+// ErrCorrupt reports malformed compressed data.
+var ErrCorrupt = errors.New("lzh: corrupt data")
+
+// bitWriter packs codes LSB-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	nbit uint
+}
+
+func (w *bitWriter) writeBits(v uint32, n uint) {
+	w.acc |= uint64(v) << w.nbit
+	w.nbit += n
+	for w.nbit >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.nbit -= 8
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.nbit > 0 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc = 0
+		w.nbit = 0
+	}
+	return w.buf
+}
+
+// bitReader unpacks LSB-first codes.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	acc  uint64
+	nbit uint
+}
+
+func (r *bitReader) readBits(n uint) (uint32, error) {
+	for r.nbit < n {
+		if r.pos >= len(r.buf) {
+			return 0, ErrCorrupt
+		}
+		r.acc |= uint64(r.buf[r.pos]) << r.nbit
+		r.pos++
+		r.nbit += 8
+	}
+	v := uint32(r.acc & (1<<n - 1))
+	r.acc >>= n
+	r.nbit -= n
+	return v, nil
+}
+
+// peekBits returns up to n bits without consuming them (short reads near
+// EOF are zero-padded — canonical decoding tolerates that because valid
+// codes never need the padding).
+func (r *bitReader) peekBits(n uint) uint32 {
+	for r.nbit < n && r.pos < len(r.buf) {
+		r.acc |= uint64(r.buf[r.pos]) << r.nbit
+		r.pos++
+		r.nbit += 8
+	}
+	return uint32(r.acc & (1<<n - 1))
+}
+
+func (r *bitReader) skipBits(n uint) error {
+	if r.nbit < n {
+		return ErrCorrupt
+	}
+	r.acc >>= n
+	r.nbit -= n
+	return nil
+}

@@ -1,0 +1,177 @@
+package lzh
+
+import "sort"
+
+// maxCodeLen bounds Huffman code lengths so the decoder can use a single
+// peek of maxCodeLen bits.
+const maxCodeLen = 15
+
+// huffCode is one symbol's canonical code.
+type huffCode struct {
+	code uint32 // bit-reversed for LSB-first emission
+	len  uint8
+}
+
+// buildCodeLengths computes length-limited Huffman code lengths for the
+// given symbol frequencies. Symbols with zero frequency get length 0 (no
+// code). If the optimal tree exceeds maxCodeLen, frequencies are damped
+// (halved with a floor of 1) and the tree rebuilt — the classic iterative
+// limiter; it terminates because damping converges to uniform frequencies,
+// whose tree depth is ⌈log2(n)⌉ ≤ 9 for our alphabets.
+func buildCodeLengths(freq []int) []uint8 {
+	lens := make([]uint8, len(freq))
+	f := append([]int(nil), freq...)
+	for {
+		depths, ok := huffmanDepths(f)
+		if ok {
+			copy(lens, depths)
+			return lens
+		}
+		for i, v := range f {
+			if v > 1 {
+				f[i] = (v + 1) / 2
+			}
+		}
+	}
+}
+
+type hnode struct {
+	freq        int
+	sym         int // -1 for internal
+	left, right int // node indices
+}
+
+// huffmanDepths builds one Huffman tree and reports per-symbol depths; ok
+// is false when any depth exceeds maxCodeLen.
+func huffmanDepths(freq []int) ([]uint8, bool) {
+	var live []int
+	nodes := make([]hnode, 0, 2*len(freq))
+	for s, fq := range freq {
+		if fq > 0 {
+			nodes = append(nodes, hnode{freq: fq, sym: s, left: -1, right: -1})
+			live = append(live, len(nodes)-1)
+		}
+	}
+	depths := make([]uint8, len(freq))
+	switch len(live) {
+	case 0:
+		return depths, true
+	case 1:
+		// A single symbol still needs one bit on the wire.
+		depths[nodes[live[0]].sym] = 1
+		return depths, true
+	}
+	// Simple O(n log n + n^2-ish) merge using a sorted slice; alphabets
+	// are ≤ 300 symbols so this is plenty fast and dependency-free.
+	sort.Slice(live, func(i, j int) bool { return nodes[live[i]].freq < nodes[live[j]].freq })
+	for len(live) > 1 {
+		a, b := live[0], live[1]
+		live = live[2:]
+		nodes = append(nodes, hnode{freq: nodes[a].freq + nodes[b].freq, sym: -1, left: a, right: b})
+		ni := len(nodes) - 1
+		// insert keeping order
+		pos := sort.Search(len(live), func(i int) bool { return nodes[live[i]].freq >= nodes[ni].freq })
+		live = append(live, 0)
+		copy(live[pos+1:], live[pos:])
+		live[pos] = ni
+	}
+	// DFS for depths.
+	ok := true
+	type stackEnt struct {
+		node  int
+		depth uint8
+	}
+	stack := []stackEnt{{live[0], 0}}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := nodes[e.node]
+		if n.sym >= 0 {
+			if e.depth > maxCodeLen {
+				ok = false
+			}
+			depths[n.sym] = e.depth
+			continue
+		}
+		stack = append(stack, stackEnt{n.left, e.depth + 1}, stackEnt{n.right, e.depth + 1})
+	}
+	return depths, ok
+}
+
+// canonicalCodes assigns canonical codes from code lengths and returns
+// them bit-reversed for LSB-first writing.
+func canonicalCodes(lens []uint8) []huffCode {
+	codes := make([]huffCode, len(lens))
+	var countPerLen [maxCodeLen + 1]int
+	for _, l := range lens {
+		countPerLen[l]++
+	}
+	countPerLen[0] = 0
+	var next [maxCodeLen + 1]uint32
+	var code uint32
+	for l := 1; l <= maxCodeLen; l++ {
+		code = (code + uint32(countPerLen[l-1])) << 1
+		next[l] = code
+	}
+	for s, l := range lens {
+		if l == 0 {
+			continue
+		}
+		codes[s] = huffCode{code: reverseBits(next[l], uint(l)), len: l}
+		next[l]++
+	}
+	return codes
+}
+
+func reverseBits(v uint32, n uint) uint32 {
+	var out uint32
+	for i := uint(0); i < n; i++ {
+		out = out<<1 | (v>>i)&1
+	}
+	return out
+}
+
+// decoder is a canonical Huffman decoder using a full lookup table of
+// maxCodeLen-bit prefixes.
+type decoder struct {
+	table []uint16 // (sym << 4) | len
+}
+
+const decodeInvalid = 0xffff
+
+func newDecoder(lens []uint8) (*decoder, error) {
+	d := &decoder{table: make([]uint16, 1<<maxCodeLen)}
+	for i := range d.table {
+		d.table[i] = decodeInvalid
+	}
+	codes := canonicalCodes(lens)
+	any := false
+	for s, c := range codes {
+		if c.len == 0 {
+			continue
+		}
+		any = true
+		// Fill every table slot whose low c.len bits equal the code.
+		step := 1 << c.len
+		for idx := int(c.code); idx < len(d.table); idx += step {
+			d.table[idx] = uint16(s)<<4 | uint16(c.len)
+		}
+	}
+	if !any {
+		return nil, ErrCorrupt
+	}
+	return d, nil
+}
+
+// decode reads one symbol from r.
+func (d *decoder) decode(r *bitReader) (int, error) {
+	bits := r.peekBits(maxCodeLen)
+	e := d.table[bits]
+	if e == decodeInvalid {
+		return 0, ErrCorrupt
+	}
+	if err := r.skipBits(uint(e & 0xf)); err != nil {
+		return 0, err
+	}
+	return int(e >> 4), nil
+}

@@ -1,0 +1,286 @@
+package lzh
+
+import "encoding/binary"
+
+// LZ77 parameters.
+const (
+	windowSize = 32 * 1024
+	minMatch   = 4
+	maxMatch   = 258
+	hashBits   = 15
+	hashSize   = 1 << hashBits
+	maxChain   = 64 // match-finder effort
+)
+
+// Symbol alphabet: 0..255 literals, 256 end-of-block, 257..284 length
+// buckets. Distances use their own 30-bucket alphabet.
+const (
+	symEOB      = 256
+	numLitSyms  = 257 + len(lengthBase)
+	numDistSyms = 30
+)
+
+// Length buckets: base value + extra bits, Deflate-style but for
+// minMatch=4. The buckets tile [4, 259] contiguously:
+// base[i] + 2^extra[i] == base[i+1].
+var lengthBase = [...]int{4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 16, 18, 20, 24, 28, 32, 36, 44, 52, 60, 68, 84, 100, 116, 132, 164, 196, 228}
+var lengthExtra = [...]uint{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5}
+
+// Distance buckets: base + extra bits covering 1..32768.
+var distBase = [...]int{1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537, 2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577}
+var distExtra = [...]uint{0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13, 13}
+
+func lengthBucket(l int) int {
+	for i := len(lengthBase) - 1; i >= 0; i-- {
+		if l >= lengthBase[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+func distBucket(d int) int {
+	for i := len(distBase) - 1; i >= 0; i-- {
+		if d >= distBase[i] {
+			return i
+		}
+	}
+	return 0
+}
+
+// token is an LZ77 parse element: either a literal byte or a (len, dist)
+// back-reference.
+type token struct {
+	lit    byte
+	length int // 0 → literal
+	dist   int
+}
+
+func hash4(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+// tokenize produces the LZ77 parse of src using a hash-head/chain matcher.
+func tokenize(src []byte) []token {
+	var toks []token
+	head := make([]int32, hashSize)
+	prev := make([]int32, len(src))
+	for i := range head {
+		head[i] = -1
+	}
+	i := 0
+	for i < len(src) {
+		bestLen, bestDist := 0, 0
+		if i+minMatch <= len(src) {
+			h := hash4(src[i:])
+			cand := head[h]
+			chain := 0
+			for cand >= 0 && chain < maxChain {
+				dist := i - int(cand)
+				if dist > windowSize {
+					break
+				}
+				l := matchLen(src, int(cand), i)
+				if l > bestLen {
+					bestLen, bestDist = l, dist
+					if l >= maxMatch {
+						break
+					}
+				}
+				cand = prev[cand]
+				chain++
+			}
+			prev[i] = head[h]
+			head[h] = int32(i)
+		}
+		if bestLen >= minMatch {
+			toks = append(toks, token{length: bestLen, dist: bestDist})
+			// Insert hash entries for the skipped positions so later
+			// matches can reference into this span.
+			end := i + bestLen
+			for j := i + 1; j < end && j+minMatch <= len(src); j++ {
+				h := hash4(src[j:])
+				prev[j] = head[h]
+				head[h] = int32(j)
+			}
+			i = end
+		} else {
+			toks = append(toks, token{lit: src[i]})
+			i++
+		}
+	}
+	return toks
+}
+
+func matchLen(src []byte, a, b int) int {
+	n := 0
+	max := len(src) - b
+	if max > maxMatch {
+		max = maxMatch
+	}
+	for n < max && src[a+n] == src[b+n] {
+		n++
+	}
+	return n
+}
+
+// Compress encodes src. The output is self-contained: a varint original
+// size, the two code-length tables, and the entropy-coded token stream.
+func Compress(src []byte) []byte {
+	toks := tokenize(src)
+
+	litFreq := make([]int, numLitSyms)
+	distFreq := make([]int, numDistSyms)
+	for _, t := range toks {
+		if t.length == 0 {
+			litFreq[t.lit]++
+		} else {
+			litFreq[257+lengthBucket(t.length)]++
+			distFreq[distBucket(t.dist)]++
+		}
+	}
+	litFreq[symEOB]++
+
+	litLens := buildCodeLengths(litFreq)
+	distLens := buildCodeLengths(distFreq)
+	litCodes := canonicalCodes(litLens)
+	distCodes := canonicalCodes(distLens)
+
+	var out []byte
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(src)))
+	out = append(out, hdr[:n]...)
+	// Code-length tables, 4 bits per symbol, packed.
+	out = appendNibbles(out, litLens)
+	out = appendNibbles(out, distLens)
+
+	w := &bitWriter{buf: out}
+	emit := func(c huffCode) { w.writeBits(c.code, uint(c.len)) }
+	for _, t := range toks {
+		if t.length == 0 {
+			emit(litCodes[t.lit])
+			continue
+		}
+		lb := lengthBucket(t.length)
+		emit(litCodes[257+lb])
+		w.writeBits(uint32(t.length-lengthBase[lb]), lengthExtra[lb])
+		db := distBucket(t.dist)
+		emit(distCodes[db])
+		w.writeBits(uint32(t.dist-distBase[db]), distExtra[db])
+	}
+	emit(litCodes[symEOB])
+	return w.flush()
+}
+
+// appendNibbles packs code lengths (0..15) two per byte.
+func appendNibbles(out []byte, lens []uint8) []byte {
+	for i := 0; i < len(lens); i += 2 {
+		b := lens[i] & 0xf
+		if i+1 < len(lens) {
+			b |= (lens[i+1] & 0xf) << 4
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func readNibbles(in []byte, n int) ([]uint8, []byte, error) {
+	need := (n + 1) / 2
+	if len(in) < need {
+		return nil, nil, ErrCorrupt
+	}
+	lens := make([]uint8, n)
+	for i := 0; i < n; i++ {
+		b := in[i/2]
+		if i%2 == 1 {
+			b >>= 4
+		}
+		lens[i] = b & 0xf
+	}
+	return lens, in[need:], nil
+}
+
+// Decompress decodes data produced by Compress.
+func Decompress(data []byte) ([]byte, error) {
+	origLen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, ErrCorrupt
+	}
+	rest := data[n:]
+	if origLen > 1<<31 {
+		return nil, ErrCorrupt
+	}
+	litLens, rest, err := readNibbles(rest, numLitSyms)
+	if err != nil {
+		return nil, err
+	}
+	distLens, rest, err := readNibbles(rest, numDistSyms)
+	if err != nil {
+		return nil, err
+	}
+	litDec, err := newDecoder(litLens)
+	if err != nil {
+		return nil, err
+	}
+	// A stream with no matches has an all-zero distance table; build the
+	// decoder lazily only when a match symbol appears.
+	var distDec *decoder
+
+	out := make([]byte, 0, origLen)
+	r := &bitReader{buf: rest}
+	for {
+		sym, err := litDec.decode(r)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case sym < 256:
+			out = append(out, byte(sym))
+		case sym == symEOB:
+			if uint64(len(out)) != origLen {
+				return nil, ErrCorrupt
+			}
+			return out, nil
+		default:
+			lb := sym - 257
+			if lb >= len(lengthBase) {
+				return nil, ErrCorrupt
+			}
+			extra, err := r.readBits(lengthExtra[lb])
+			if err != nil {
+				return nil, err
+			}
+			length := lengthBase[lb] + int(extra)
+			if distDec == nil {
+				distDec, err = newDecoder(distLens)
+				if err != nil {
+					return nil, err
+				}
+			}
+			db, err := distDec.decode(r)
+			if err != nil {
+				return nil, err
+			}
+			if db >= len(distBase) {
+				return nil, ErrCorrupt
+			}
+			dextra, err := r.readBits(distExtra[db])
+			if err != nil {
+				return nil, err
+			}
+			dist := distBase[db] + int(dextra)
+			if dist <= 0 || dist > len(out) {
+				return nil, ErrCorrupt
+			}
+			if uint64(len(out)+length) > origLen {
+				return nil, ErrCorrupt
+			}
+			// Overlapping copy, byte by byte (dist may be < length).
+			start := len(out) - dist
+			for k := 0; k < length; k++ {
+				out = append(out, out[start+k])
+			}
+		}
+	}
+}

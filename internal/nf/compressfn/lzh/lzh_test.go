@@ -1,0 +1,333 @@
+package lzh
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	comp := Compress(src)
+	out, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("decompress(%d bytes): %v", len(src), err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(out))
+	}
+	return comp
+}
+
+func TestRoundTripEmpty(t *testing.T) {
+	roundTrip(t, nil)
+	roundTrip(t, []byte{})
+}
+
+func TestRoundTripSingleByte(t *testing.T) {
+	roundTrip(t, []byte{0x42})
+}
+
+func TestRoundTripAllByteValues(t *testing.T) {
+	src := make([]byte, 256)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	roundTrip(t, src)
+}
+
+func TestRoundTripRepetitive(t *testing.T) {
+	src := bytes.Repeat([]byte("abcabcabc"), 1000)
+	comp := roundTrip(t, src)
+	if len(comp) >= len(src)/10 {
+		t.Fatalf("repetitive input should compress >10x: %d -> %d", len(src), len(comp))
+	}
+}
+
+func TestRoundTripRandomIncompressible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 8192)
+	rng.Read(src)
+	comp := roundTrip(t, src)
+	// Random data can't compress, but overhead must stay modest.
+	if len(comp) > len(src)+len(src)/8+512 {
+		t.Fatalf("incompressible overhead too high: %d -> %d", len(src), len(comp))
+	}
+}
+
+func TestRoundTripLongRun(t *testing.T) {
+	roundTrip(t, bytes.Repeat([]byte{0}, 100000))
+}
+
+func TestRoundTripOverlappingCopy(t *testing.T) {
+	// "aaaa..." forces dist < length copies.
+	roundTrip(t, bytes.Repeat([]byte{'a'}, 1000))
+}
+
+func TestRoundTripTextLike(t *testing.T) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 200)
+	comp := roundTrip(t, src)
+	if len(comp) >= len(src)/2 {
+		t.Fatalf("text should compress at least 2x: %d -> %d", len(src), len(comp))
+	}
+}
+
+func TestRoundTripFarMatches(t *testing.T) {
+	// Matches just inside and content beyond the 32K window.
+	block := make([]byte, 1000)
+	rand.New(rand.NewSource(2)).Read(block)
+	var src []byte
+	src = append(src, block...)
+	src = append(src, make([]byte, windowSize-500)...)
+	src = append(src, block...) // distance near windowSize
+	roundTrip(t, src)
+}
+
+func TestQuickRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		out, err := Decompress(Compress(src))
+		return err == nil && bytes.Equal(out, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRoundTripStructured(t *testing.T) {
+	// Structured inputs: random runs of repeated random chunks.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		var src []byte
+		for len(src) < 5000 {
+			chunk := make([]byte, 1+rng.Intn(40))
+			rng.Read(chunk)
+			reps := 1 + rng.Intn(10)
+			for r := 0; r < reps; r++ {
+				src = append(src, chunk...)
+			}
+		}
+		roundTrip(t, src)
+	}
+}
+
+func TestDecompressCorrupt(t *testing.T) {
+	src := bytes.Repeat([]byte("hello world "), 100)
+	comp := Compress(src)
+	for _, mut := range []func([]byte) []byte{
+		func(b []byte) []byte { return nil },
+		func(b []byte) []byte { return b[:1] },
+		func(b []byte) []byte { return b[:len(b)/2] },
+		func(b []byte) []byte { b[0] = 0xff; b[1] = 0xff; return b }, // absurd length varint prefix
+	} {
+		c := mut(append([]byte(nil), comp...))
+		if _, err := Decompress(c); err == nil {
+			t.Fatalf("corrupt input decompressed cleanly (mutation on %d bytes)", len(c))
+		}
+	}
+}
+
+func TestDecompressBitFlipsNeverPanic(t *testing.T) {
+	src := bytes.Repeat([]byte("abcdefgh"), 200)
+	comp := Compress(src)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 500; i++ {
+		c := append([]byte(nil), comp...)
+		c[rng.Intn(len(c))] ^= 1 << rng.Intn(8)
+		// Must either fail cleanly or produce some output; panics
+		// would escape the test harness.
+		out, err := Decompress(c)
+		_ = out
+		_ = err
+	}
+}
+
+func TestLengthBuckets(t *testing.T) {
+	for l := minMatch; l <= maxMatch; l++ {
+		b := lengthBucket(l)
+		lo := lengthBase[b]
+		hi := lo + (1 << lengthExtra[b]) - 1
+		if l < lo || l > hi {
+			t.Fatalf("length %d outside bucket %d range [%d,%d]", l, b, lo, hi)
+		}
+	}
+}
+
+func TestDistBuckets(t *testing.T) {
+	for d := 1; d <= windowSize; d++ {
+		b := distBucket(d)
+		lo := distBase[b]
+		hi := lo + (1 << distExtra[b]) - 1
+		if d < lo || d > hi {
+			t.Fatalf("dist %d outside bucket %d range [%d,%d]", d, b, lo, hi)
+		}
+	}
+}
+
+func TestHuffmanCodesPrefixFree(t *testing.T) {
+	freq := make([]int, 64)
+	rng := rand.New(rand.NewSource(5))
+	for i := range freq {
+		freq[i] = rng.Intn(1000)
+	}
+	freq[0] = 100000 // force skew
+	lens := buildCodeLengths(freq)
+	codes := canonicalCodes(lens)
+	// Kraft inequality must hold with equality for a complete code.
+	var kraft float64
+	for s, l := range lens {
+		if l == 0 {
+			if freq[s] != 0 {
+				t.Fatalf("symbol %d has frequency but no code", s)
+			}
+			continue
+		}
+		kraft += 1 / float64(uint64(1)<<l)
+		if l > maxCodeLen {
+			t.Fatalf("code length %d exceeds limit", l)
+		}
+	}
+	if kraft > 1.0000001 {
+		t.Fatalf("Kraft sum %v > 1: not prefix-free", kraft)
+	}
+	_ = codes
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	freq := make([]int, 10)
+	freq[3] = 42
+	lens := buildCodeLengths(freq)
+	if lens[3] != 1 {
+		t.Fatalf("single symbol should get a 1-bit code, got %d", lens[3])
+	}
+	d, err := newDecoder(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &bitWriter{}
+	codes := canonicalCodes(lens)
+	w.writeBits(codes[3].code, uint(codes[3].len))
+	r := &bitReader{buf: w.flush()}
+	sym, err := d.decode(r)
+	if err != nil || sym != 3 {
+		t.Fatalf("decode = %d, %v", sym, err)
+	}
+}
+
+func TestHuffmanRoundTripSymbols(t *testing.T) {
+	freq := make([]int, 300)
+	rng := rand.New(rand.NewSource(6))
+	for i := range freq {
+		freq[i] = 1 + rng.Intn(100)
+	}
+	lens := buildCodeLengths(freq)
+	codes := canonicalCodes(lens)
+	dec, err := newDecoder(lens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syms []int
+	w := &bitWriter{}
+	for i := 0; i < 2000; i++ {
+		s := rng.Intn(300)
+		syms = append(syms, s)
+		w.writeBits(codes[s].code, uint(codes[s].len))
+	}
+	r := &bitReader{buf: w.flush()}
+	for i, want := range syms {
+		got, err := dec.decode(r)
+		if err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("symbol %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestBitIO(t *testing.T) {
+	w := &bitWriter{}
+	w.writeBits(0b101, 3)
+	w.writeBits(0b11111111111, 11)
+	w.writeBits(0b0, 1)
+	w.writeBits(0x12345, 17)
+	buf := w.flush()
+	r := &bitReader{buf: buf}
+	if v, _ := r.readBits(3); v != 0b101 {
+		t.Fatalf("read 3 = %b", v)
+	}
+	if v, _ := r.readBits(11); v != 0b11111111111 {
+		t.Fatalf("read 11 = %b", v)
+	}
+	if v, _ := r.readBits(1); v != 0 {
+		t.Fatal("read 1")
+	}
+	if v, _ := r.readBits(17); v != 0x12345 {
+		t.Fatalf("read 17 = %x", v)
+	}
+	if _, err := r.readBits(32); err != ErrCorrupt {
+		t.Fatalf("EOF read: %v", err)
+	}
+}
+
+func TestTokenizeCoversInput(t *testing.T) {
+	src := bytes.Repeat([]byte("token coverage check "), 50)
+	toks := tokenize(src)
+	total := 0
+	for _, tok := range toks {
+		if tok.length == 0 {
+			total++
+		} else {
+			if tok.length < minMatch || tok.length > maxMatch {
+				t.Fatalf("match length %d out of range", tok.length)
+			}
+			if tok.dist <= 0 || tok.dist > windowSize {
+				t.Fatalf("match dist %d out of range", tok.dist)
+			}
+			total += tok.length
+		}
+	}
+	if total != len(src) {
+		t.Fatalf("tokens cover %d bytes, want %d", total, len(src))
+	}
+}
+
+func BenchmarkCompress1K(b *testing.B) {
+	src := bytes.Repeat([]byte("<item id=42>value</item>\n"), 41)[:1024]
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Compress(src)
+	}
+}
+
+func BenchmarkDecompress1K(b *testing.B) {
+	src := bytes.Repeat([]byte("<item id=42>value</item>\n"), 41)[:1024]
+	comp := Compress(src)
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompress(comp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func FuzzDecompress(f *testing.F) {
+	f.Add(Compress([]byte("the quick brown fox")))
+	f.Add(Compress(bytes.Repeat([]byte{0}, 500)))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Never panic; on success, a re-compress/re-decompress round
+		// trip must be stable.
+		out, err := Decompress(data)
+		if err != nil {
+			return
+		}
+		back, err := Decompress(Compress(out))
+		if err != nil || !bytes.Equal(back, out) {
+			t.Fatal("round trip of accepted output failed")
+		}
+	})
+}

@@ -1,0 +1,175 @@
+package lzh
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+)
+
+// Streaming layer: frames the block codec for io.Writer/io.Reader use.
+// Each frame is an independently compressed block:
+//
+//	frameLen uvarint | compressed block bytes
+//
+// A zero frameLen marks the end of the stream. Frames are independent, so
+// a reader can resynchronize at frame boundaries and a writer can Flush at
+// any record boundary — matching how the Comp network function chunks
+// files into packets.
+
+// DefaultBlockSize is the writer's flush threshold.
+const DefaultBlockSize = 64 * 1024
+
+// ErrWriterClosed reports a write after Close.
+var ErrWriterClosed = errors.New("lzh: writer closed")
+
+// Writer compresses a stream into frames on an underlying io.Writer.
+type Writer struct {
+	w      io.Writer
+	buf    bytes.Buffer
+	block  int
+	closed bool
+
+	// BytesIn and BytesOut track the cumulative ratio.
+	BytesIn  int64
+	BytesOut int64
+}
+
+// NewWriter returns a streaming compressor with the default block size.
+func NewWriter(w io.Writer) *Writer { return NewWriterSize(w, DefaultBlockSize) }
+
+// NewWriterSize returns a streaming compressor flushing every blockSize
+// input bytes.
+func NewWriterSize(w io.Writer, blockSize int) *Writer {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Writer{w: w, block: blockSize}
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrWriterClosed
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := w.block - w.buf.Len()
+		if room > len(p) {
+			room = len(p)
+		}
+		w.buf.Write(p[:room])
+		p = p[room:]
+		if w.buf.Len() >= w.block {
+			if err := w.Flush(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	w.BytesIn += int64(total)
+	return total, nil
+}
+
+// Flush compresses and emits the buffered input as one frame. Flushing an
+// empty buffer is a no-op (so it never emits the end-of-stream marker).
+func (w *Writer) Flush() error {
+	if w.closed {
+		return ErrWriterClosed
+	}
+	if w.buf.Len() == 0 {
+		return nil
+	}
+	comp := Compress(w.buf.Bytes())
+	w.buf.Reset()
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(comp)))
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(comp); err != nil {
+		return err
+	}
+	w.BytesOut += int64(n + len(comp))
+	return nil
+}
+
+// Close flushes pending input and writes the end-of-stream marker. The
+// underlying writer is not closed.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], 0)
+	if _, err := w.w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	w.BytesOut += int64(n)
+	w.closed = true
+	return nil
+}
+
+// Reader decompresses a frame stream produced by Writer.
+type Reader struct {
+	r    *byteReader
+	cur  []byte
+	done bool
+}
+
+// byteReader adapts an io.Reader for binary.ReadUvarint while supporting
+// bulk reads.
+type byteReader struct {
+	r   io.Reader
+	one [1]byte
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	if _, err := io.ReadFull(b.r, b.one[:]); err != nil {
+		return 0, err
+	}
+	return b.one[0], nil
+}
+
+// NewReader returns a streaming decompressor.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: &byteReader{r: r}}
+}
+
+// Read implements io.Reader, returning io.EOF after the end-of-stream
+// marker. A truncated underlying stream yields ErrCorrupt (missing
+// marker), never a silent short stream.
+func (rd *Reader) Read(p []byte) (int, error) {
+	for len(rd.cur) == 0 {
+		if rd.done {
+			return 0, io.EOF
+		}
+		frameLen, err := binary.ReadUvarint(rd.r)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return 0, ErrCorrupt
+			}
+			return 0, err
+		}
+		if frameLen == 0 {
+			rd.done = true
+			return 0, io.EOF
+		}
+		if frameLen > 1<<30 {
+			return 0, ErrCorrupt
+		}
+		comp := make([]byte, frameLen)
+		if _, err := io.ReadFull(rd.r.r, comp); err != nil {
+			return 0, ErrCorrupt
+		}
+		rd.cur, err = Decompress(comp)
+		if err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, rd.cur)
+	rd.cur = rd.cur[n:]
+	return n, nil
+}

@@ -1,0 +1,189 @@
+package lzh
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func streamRoundTrip(t *testing.T, src []byte, blockSize int) {
+	t.Helper()
+	var comp bytes.Buffer
+	w := NewWriterSize(&comp, blockSize)
+	if _, err := w.Write(src); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(NewReader(&comp))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatalf("stream round trip mismatch: %d in, %d out", len(src), len(out))
+	}
+}
+
+func TestStreamRoundTripBasic(t *testing.T) {
+	streamRoundTrip(t, bytes.Repeat([]byte("streaming codec test "), 5000), DefaultBlockSize)
+}
+
+func TestStreamRoundTripManyBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]byte, 50000)
+	rng.Read(src)
+	streamRoundTrip(t, src, 1024) // ~49 frames
+}
+
+func TestStreamRoundTripEmpty(t *testing.T) {
+	streamRoundTrip(t, nil, 512)
+}
+
+func TestStreamIncrementalWrites(t *testing.T) {
+	var comp bytes.Buffer
+	w := NewWriterSize(&comp, 100)
+	var src []byte
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		chunk := make([]byte, rng.Intn(37))
+		rng.Read(chunk)
+		src = append(src, chunk...)
+		if _, err := w.Write(chunk); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := io.ReadAll(NewReader(&comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("incremental writes mismatch")
+	}
+}
+
+func TestStreamFlushBoundaries(t *testing.T) {
+	var comp bytes.Buffer
+	w := NewWriter(&comp)
+	w.Write([]byte("first"))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil { // empty flush is a no-op
+		t.Fatal(err)
+	}
+	w.Write([]byte("second"))
+	w.Close()
+	out, err := io.ReadAll(NewReader(&comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "firstsecond" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	w.Close()
+	if _, err := w.Write([]byte("x")); err != ErrWriterClosed {
+		t.Fatalf("err = %v", err)
+	}
+	if err := w.Flush(); err != ErrWriterClosed {
+		t.Fatalf("flush err = %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close should be fine")
+	}
+}
+
+func TestStreamTruncatedIsCorrupt(t *testing.T) {
+	var comp bytes.Buffer
+	w := NewWriter(&comp)
+	w.Write(bytes.Repeat([]byte("abc"), 1000))
+	w.Close()
+	full := comp.Bytes()
+	for _, cut := range []int{0, 1, len(full) / 2, len(full) - 1} {
+		r := NewReader(bytes.NewReader(full[:cut]))
+		if _, err := io.ReadAll(r); err == nil {
+			t.Fatalf("truncation at %d not detected", cut)
+		}
+	}
+}
+
+func TestStreamSmallReads(t *testing.T) {
+	var comp bytes.Buffer
+	w := NewWriter(&comp)
+	src := bytes.Repeat([]byte("0123456789"), 100)
+	w.Write(src)
+	w.Close()
+	r := NewReader(&comp)
+	var out []byte
+	buf := make([]byte, 7) // deliberately awkward read size
+	for {
+		n, err := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(out, src) {
+		t.Fatal("small reads mismatch")
+	}
+	// Reads after EOF keep returning EOF.
+	if _, err := r.Read(buf); err != io.EOF {
+		t.Fatal("expected persistent EOF")
+	}
+}
+
+func TestStreamRatioAccounting(t *testing.T) {
+	var comp bytes.Buffer
+	w := NewWriter(&comp)
+	src := bytes.Repeat([]byte("ratio "), 10000)
+	w.Write(src)
+	w.Close()
+	if w.BytesIn != int64(len(src)) {
+		t.Fatalf("BytesIn = %d", w.BytesIn)
+	}
+	if w.BytesOut != int64(comp.Len()) {
+		t.Fatalf("BytesOut = %d vs %d", w.BytesOut, comp.Len())
+	}
+	if w.BytesOut >= w.BytesIn/5 {
+		t.Fatal("repetitive stream should compress >5x")
+	}
+}
+
+func BenchmarkStreamWriter(b *testing.B) {
+	src := SynthCorpusForBench(1 << 16)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := NewWriter(io.Discard)
+		w.Write(src)
+		w.Close()
+	}
+}
+
+// SynthCorpusForBench builds a mixed-entropy buffer without importing the
+// parent package (which would cycle).
+func SynthCorpusForBench(n int) []byte {
+	rng := rand.New(rand.NewSource(3))
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		if rng.Intn(3) == 0 {
+			span := make([]byte, 64)
+			rng.Read(span)
+			out = append(out, span...)
+		} else {
+			out = append(out, "<item id=42 class=\"row\">value</item>\n"...)
+		}
+	}
+	return out[:n]
+}

@@ -1,0 +1,212 @@
+// Package natfn implements the NAT benchmark function: source network
+// address and port translation backed by a bounded translation table with
+// LRU eviction, configured with 1K or 10K entries as in Table IV.
+package natfn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"halsim/internal/nf"
+)
+
+// Request layout (12 bytes, big endian):
+//
+//	srcIP[4] srcPort[2] dstIP[4] dstPort[2]
+//
+// Response layout (12 bytes): extIP[4] extPort[2] dstIP[4] dstPort[2].
+const reqLen = 12
+
+// ErrBadRequest reports a payload shorter than a NAT tuple.
+var ErrBadRequest = errors.New("natfn: request shorter than 12 bytes")
+
+type flowKey struct {
+	ip   uint32
+	port uint16
+}
+
+type entry struct {
+	key     flowKey
+	extPort uint16
+	// intrusive LRU list
+	prev, next *entry
+}
+
+// Table is a source-NAT translation table with a fixed capacity and LRU
+// eviction. It is the function's shared state.
+type Table struct {
+	extIP    uint32
+	capacity int
+	entries  map[flowKey]*entry
+	byExt    map[uint16]*entry
+	nextPort uint16
+	// LRU sentinel: head.next is most recent, head.prev least recent.
+	head entry
+
+	// Counters for tests and reporting.
+	Hits, Misses, Evictions uint64
+}
+
+// NewTable returns a table translating to extIP with the given capacity.
+func NewTable(extIP uint32, capacity int) *Table {
+	if capacity <= 0 {
+		panic("natfn: capacity must be positive")
+	}
+	t := &Table{
+		extIP:    extIP,
+		capacity: capacity,
+		entries:  make(map[flowKey]*entry, capacity),
+		byExt:    make(map[uint16]*entry, capacity),
+		nextPort: 1024,
+	}
+	t.head.prev = &t.head
+	t.head.next = &t.head
+	return t
+}
+
+func (t *Table) touch(e *entry) {
+	// unlink
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	// insert at head
+	e.next = t.head.next
+	e.prev = &t.head
+	t.head.next.prev = e
+	t.head.next = e
+}
+
+func (t *Table) evictOldest() {
+	old := t.head.prev
+	if old == &t.head {
+		return
+	}
+	old.prev.next = &t.head
+	t.head.prev = old.prev
+	delete(t.entries, old.key)
+	delete(t.byExt, old.extPort)
+	t.Evictions++
+}
+
+// allocPort finds a free external port, skipping ones still mapped.
+func (t *Table) allocPort() uint16 {
+	for i := 0; i < 65536; i++ {
+		p := t.nextPort
+		t.nextPort++
+		if t.nextPort == 0 {
+			t.nextPort = 1024
+		}
+		if p < 1024 {
+			continue
+		}
+		if _, used := t.byExt[p]; !used {
+			return p
+		}
+	}
+	// Capacity < 64512 guarantees a free port above; defensive only.
+	panic("natfn: port space exhausted")
+}
+
+// Translate maps an internal (ip, port) flow to its external port,
+// allocating (and evicting, if full) as needed.
+func (t *Table) Translate(ip uint32, port uint16) (extIP uint32, extPort uint16) {
+	k := flowKey{ip, port}
+	if e, ok := t.entries[k]; ok {
+		t.Hits++
+		t.touch(e)
+		return t.extIP, e.extPort
+	}
+	t.Misses++
+	if len(t.entries) >= t.capacity {
+		t.evictOldest()
+	}
+	e := &entry{key: k, extPort: t.allocPort()}
+	t.entries[k] = e
+	t.byExt[e.extPort] = e
+	// link at head
+	e.next = t.head.next
+	e.prev = &t.head
+	t.head.next.prev = e
+	t.head.next = e
+	return t.extIP, e.extPort
+}
+
+// Reverse resolves an external port back to the internal flow, as the
+// return path would.
+func (t *Table) Reverse(extPort uint16) (ip uint32, port uint16, ok bool) {
+	e, ok := t.byExt[extPort]
+	if !ok {
+		return 0, 0, false
+	}
+	return e.key.ip, e.key.port, true
+}
+
+// Len returns the live entry count.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Func is the NAT network function.
+type Func struct {
+	table *Table
+}
+
+// NewFunc returns a NAT function with the given table capacity.
+func NewFunc(capacity int) *Func {
+	return &Func{table: NewTable(0x0A000001 /* 10.0.0.1 */, capacity)}
+}
+
+// ID implements nf.Function.
+func (f *Func) ID() nf.ID { return nf.NAT }
+
+// Table exposes the translation table (tests, state inspection).
+func (f *Func) Table() *Table { return f.table }
+
+// Process translates the source tuple of the request and echoes the
+// translated 12-byte tuple.
+func (f *Func) Process(req []byte) ([]byte, error) {
+	if len(req) < reqLen {
+		return nil, ErrBadRequest
+	}
+	srcIP := binary.BigEndian.Uint32(req[0:4])
+	srcPort := binary.BigEndian.Uint16(req[4:6])
+	extIP, extPort := f.table.Translate(srcIP, srcPort)
+	resp := make([]byte, reqLen)
+	binary.BigEndian.PutUint32(resp[0:4], extIP)
+	binary.BigEndian.PutUint16(resp[4:6], extPort)
+	copy(resp[6:12], req[6:12])
+	return resp, nil
+}
+
+// gen emits NAT requests over a bounded flow population so the table
+// exercises both hits and misses.
+type gen struct {
+	flows int
+	fill  []byte
+}
+
+func (g gen) Next(rng *rand.Rand) []byte {
+	b := make([]byte, reqLen+len(g.fill))
+	flow := rng.Intn(g.flows)
+	binary.BigEndian.PutUint32(b[0:4], 0xC0A80000|uint32(flow>>8)) // 192.168.x.x
+	binary.BigEndian.PutUint16(b[4:6], uint16(1024+flow&0xff))
+	binary.BigEndian.PutUint32(b[6:10], 0x08080808)
+	binary.BigEndian.PutUint16(b[10:12], 443)
+	copy(b[reqLen:], g.fill)
+	return b
+}
+
+func factory(config string) (nf.Function, nf.RequestGen, error) {
+	capacity := 1024
+	switch config {
+	case "", "1k":
+		capacity = 1024
+	case "10k":
+		capacity = 10240
+	default:
+		return nil, nil, fmt.Errorf("natfn: unknown config %q (want 1k or 10k)", config)
+	}
+	f := NewFunc(capacity)
+	return f, gen{flows: capacity * 2}, nil
+}
+
+func init() { nf.Register(nf.NAT, factory) }

@@ -1,0 +1,159 @@
+// Package nf defines the network-function abstraction shared by the ten
+// benchmark functions of the paper (Table IV) and the registry the
+// simulator and examples use to look them up.
+//
+// Functions are functionally real: Process consumes request payload bytes
+// and produces response payload bytes (a NAT really translates, REM really
+// matches patterns, the compressor really compresses). How fast a function
+// runs on a given processor is a separate concern owned by
+// internal/platform.
+package nf
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// ID enumerates the benchmark functions.
+type ID int
+
+const (
+	KVS ID = iota
+	Count
+	EMA
+	NAT
+	BM25
+	KNN
+	Bayes
+	REM
+	Crypto
+	Comp
+	numIDs
+)
+
+// All lists every function ID in the paper's presentation order.
+var All = []ID{KVS, Count, EMA, NAT, BM25, KNN, Bayes, REM, Crypto, Comp}
+
+var idNames = [...]string{
+	KVS:    "KVS",
+	Count:  "Count",
+	EMA:    "EMA",
+	NAT:    "NAT",
+	BM25:   "BM25",
+	KNN:    "KNN",
+	Bayes:  "Bayes",
+	REM:    "REM",
+	Crypto: "Crypto",
+	Comp:   "Comp",
+}
+
+func (id ID) String() string {
+	if id < 0 || id >= numIDs {
+		return fmt.Sprintf("nf(%d)", int(id))
+	}
+	return idNames[id]
+}
+
+// ParseID resolves a function name (case-sensitive, as printed by String).
+func ParseID(name string) (ID, error) {
+	for i, n := range idNames {
+		if n == name {
+			return ID(i), nil
+		}
+	}
+	return 0, fmt.Errorf("nf: unknown function %q", name)
+}
+
+// Stateful reports whether the function keeps cross-packet state that both
+// processors would need to share for cooperative processing (Table IV
+// marks KVS, Count, EMA, and Comp as stateful; Comp is stateful per-file).
+func (id ID) Stateful() bool {
+	switch id {
+	case KVS, Count, EMA, Comp:
+		return true
+	}
+	return false
+}
+
+// Function is one network function instance. Implementations live in the
+// subpackages of internal/nf. Process must be safe for sequential use;
+// stateful functions additionally implement StateFunction.
+type Function interface {
+	// ID returns the function's identity.
+	ID() ID
+	// Process handles one request payload and returns the response
+	// payload. Errors indicate malformed requests, not capacity issues.
+	Process(req []byte) ([]byte, error)
+}
+
+// StateFunction is implemented by stateful functions. StateLines reports
+// the cache-line identifiers the given request will touch in the shared
+// state region; the coherence simulator charges transfer costs for them
+// when the SNIC and host process the function cooperatively.
+type StateFunction interface {
+	Function
+	StateLines(req []byte) []uint64
+}
+
+// RequestGen produces a stream of valid request payloads for a function —
+// the client side of the benchmark.
+type RequestGen interface {
+	// Next returns the next request payload. Implementations draw from
+	// rng so that streams are reproducible per seed.
+	Next(rng *rand.Rand) []byte
+}
+
+// RequestGenFunc adapts a function to RequestGen.
+type RequestGenFunc func(rng *rand.Rand) []byte
+
+// Next implements RequestGen.
+func (f RequestGenFunc) Next(rng *rand.Rand) []byte { return f(rng) }
+
+// Factory builds a fresh function instance plus a matching request
+// generator. Config strings select the paper's per-function configurations
+// (e.g. "1k"/"10k" NAT entries, "tea"/"lite" rulesets); the empty string
+// selects the default configuration used in the headline experiments.
+type Factory func(config string) (Function, RequestGen, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[ID]Factory{}
+)
+
+// Register installs the factory for id. Subpackages call it from init.
+// Registering the same ID twice panics: it would silently shadow a real
+// implementation.
+func Register(id ID, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("nf: duplicate registration for %v", id))
+	}
+	registry[id] = f
+}
+
+// New instantiates function id with the given configuration. It fails if
+// the implementation package was not linked in or the config is unknown.
+func New(id ID, config string) (Function, RequestGen, error) {
+	regMu.RLock()
+	f, ok := registry[id]
+	regMu.RUnlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("nf: no implementation registered for %v (missing import?)", id)
+	}
+	return f(config)
+}
+
+// Registered returns the sorted list of registered function IDs.
+func Registered() []ID {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	ids := make([]ID, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,263 @@
+// Package remfn implements the REM (regular-expression matching) benchmark
+// function. The paper drives the BlueField-2 RXP accelerator with two
+// Hyperscan rulesets — teakettle_2500 ("tea", simple) and snort_literals
+// ("lite", complex). Those rulesets are proprietary downloads, so we
+// synthesize rulesets with the same character: tea is a small set of short
+// literals; lite is a large set of longer, overlapping signatures. The
+// matching core is a dense Aho–Corasick DFA (package ahocorasick).
+package remfn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"halsim/internal/nf"
+	"halsim/internal/nf/remfn/ahocorasick"
+	"halsim/internal/nf/remfn/rx"
+)
+
+// Ruleset identifies a compiled pattern set.
+type Ruleset string
+
+// The two rulesets of the paper.
+const (
+	RulesetTea  Ruleset = "tea"  // teakettle_2500-class: simple
+	RulesetLite Ruleset = "lite" // snort_literals-class: complex
+)
+
+// synthesizeRules generates a deterministic ruleset. count patterns of
+// lengths [minLen, maxLen] over a skewed byte alphabet, so patterns share
+// prefixes and the automaton develops realistic fail-link structure.
+func synthesizeRules(count, minLen, maxLen int, seed int64) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	alphabet := []byte("abcdefghijklmnopqrstuvwxyz0123456789/._-%&=?")
+	rules := make([][]byte, 0, count)
+	// A pool of shared stems makes signatures overlap like Snort
+	// literals do ("GET /", "cmd.exe", ...).
+	stems := make([][]byte, 1+count/10)
+	for i := range stems {
+		n := 3 + rng.Intn(5)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		stems[i] = s
+	}
+	for i := 0; i < count; i++ {
+		n := minLen + rng.Intn(maxLen-minLen+1)
+		p := make([]byte, 0, n)
+		if rng.Intn(2) == 0 {
+			p = append(p, stems[rng.Intn(len(stems))]...)
+		}
+		for len(p) < n {
+			p = append(p, alphabet[rng.Intn(len(alphabet))])
+		}
+		rules = append(rules, p[:n])
+	}
+	return rules
+}
+
+// CompileRuleset builds the automaton for a named ruleset.
+func CompileRuleset(rs Ruleset) (*ahocorasick.Automaton, error) {
+	switch rs {
+	case RulesetTea:
+		// teakettle_2500: ~2500 short, simple literals.
+		return ahocorasick.Compile(synthesizeRules(2500, 4, 8, 25))
+	case RulesetLite:
+		// snort_literals: thousands of longer, overlapping
+		// signatures — a much larger automaton.
+		return ahocorasick.Compile(synthesizeRules(4000, 6, 16, 97))
+	default:
+		return nil, fmt.Errorf("remfn: unknown ruleset %q", rs)
+	}
+}
+
+// regexRule couples a compiled regex with its required literal factor: the
+// Hyperscan decomposition, where a cheap multi-literal prefilter gates the
+// expensive NFA (§II-A's RXP programming model).
+type regexRule struct {
+	prefilter string
+	re        *rx.Regexp
+}
+
+// Func is the REM network function: it scans payloads against its ruleset
+// (literal signatures plus regex rules behind a literal prefilter) and
+// reports the match count and the first few literal match positions.
+type Func struct {
+	ruleset Ruleset
+	ac      *ahocorasick.Automaton
+
+	// Regex stage: preAC finds candidate prefilter literals; regexes[i]
+	// runs only when its prefilter occurred.
+	preAC   *ahocorasick.Automaton
+	regexes []regexRule
+
+	// RegexScans counts NFA executions (prefilter effectiveness);
+	// RegexMatches counts regex rule hits.
+	RegexScans   uint64
+	RegexMatches uint64
+}
+
+// NewFunc compiles the given ruleset into a REM function.
+func NewFunc(rs Ruleset) (*Func, error) {
+	ac, err := CompileRuleset(rs)
+	if err != nil {
+		return nil, err
+	}
+	f := &Func{ruleset: rs, ac: ac}
+	if rs == RulesetLite {
+		// snort_literals-class rules include regex signatures.
+		f.regexes = synthesizeRegexRules(64, 123)
+		pres := make([][]byte, len(f.regexes))
+		for i, r := range f.regexes {
+			pres[i] = []byte(r.prefilter)
+		}
+		f.preAC, err = ahocorasick.Compile(pres)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// escapeLit escapes regex metacharacters so a synthesized literal embeds
+// verbatim in a pattern.
+func escapeLit(lit string) string {
+	var b []byte
+	for i := 0; i < len(lit); i++ {
+		switch c := lit[i]; c {
+		case '\\', '.', '*', '+', '?', '(', ')', '[', ']', '|', '^', '$':
+			b = append(b, '\\', c)
+		default:
+			b = append(b, c)
+		}
+	}
+	return string(b)
+}
+
+// synthesizeRegexRules builds deterministic regex signatures with a
+// guaranteed literal factor, the shape Snort PCRE rules take
+// ("cmd\.exe[0-9a-z]*\.dll" and friends).
+func synthesizeRegexRules(count int, seed int64) []regexRule {
+	rng := rand.New(rand.NewSource(seed))
+	lits := synthesizeRules(count*2, 4, 7, seed)
+	rules := make([]regexRule, 0, count)
+	for i := 0; i < count; i++ {
+		lit1 := string(lits[2*i])
+		lit2 := string(lits[2*i+1])
+		e1, e2 := escapeLit(lit1), escapeLit(lit2)
+		var pat string
+		switch rng.Intn(3) {
+		case 0:
+			pat = e1 + "[a-z0-9]*" + e2
+		case 1:
+			pat = e1 + "\\d+"
+		default:
+			pat = e1 + ".?" + "(" + e2 + "|\\d\\d)"
+		}
+		re, err := rx.Compile(pat)
+		if err != nil {
+			panic(fmt.Sprintf("remfn: bad synthesized regex %q: %v", pat, err))
+		}
+		rules = append(rules, regexRule{prefilter: lit1, re: re})
+	}
+	return rules
+}
+
+// ID implements nf.Function.
+func (f *Func) ID() nf.ID { return nf.REM }
+
+// Ruleset returns the active ruleset name.
+func (f *Func) Ruleset() Ruleset { return f.ruleset }
+
+// Automaton exposes the compiled DFA (tests, sizing reports).
+func (f *Func) Automaton() *ahocorasick.Automaton { return f.ac }
+
+// Process scans the payload through both stages. Response layout:
+// matchCount[4] (literal + regex hits) then up to 16 literal match records
+// of pattern[4] end[4].
+func (f *Func) Process(req []byte) ([]byte, error) {
+	matches := f.ac.FindAll(req)
+	n := len(matches)
+	if f.preAC != nil {
+		// Prefilter: which regex candidates have their literal factor
+		// in this payload?
+		seen := map[int]bool{}
+		for _, m := range f.preAC.FindAll(req) {
+			if seen[m.Pattern] {
+				continue
+			}
+			seen[m.Pattern] = true
+			f.RegexScans++
+			if f.regexes[m.Pattern].re.Match(req) {
+				f.RegexMatches++
+				n++
+			}
+		}
+	}
+	// Records carry literal matches only (regex hits have no single
+	// end offset); the count field still includes both.
+	rec := len(matches)
+	if rec > 16 {
+		rec = 16
+	}
+	resp := make([]byte, 4+8*rec)
+	binary.BigEndian.PutUint32(resp[0:4], uint32(n))
+	for i := 0; i < rec; i++ {
+		binary.BigEndian.PutUint32(resp[4+8*i:], uint32(matches[i].Pattern))
+		binary.BigEndian.PutUint32(resp[8+8*i:], uint32(matches[i].End))
+	}
+	return resp, nil
+}
+
+// gen produces payloads resembling HTTP-ish traffic with occasional
+// implanted rule hits so match counts are non-trivial.
+type gen struct {
+	ac   *ahocorasick.Automaton
+	pats [][]byte
+}
+
+func (g gen) Next(rng *rand.Rand) []byte {
+	n := 200 + rng.Intn(1000)
+	b := make([]byte, n)
+	const filler = "GET /index.html HTTP/1.1 host: example.com accept: text/plain "
+	for i := range b {
+		b[i] = filler[rng.Intn(len(filler))]
+	}
+	// implant 0-3 pattern occurrences
+	for k := rng.Intn(4); k > 0; k-- {
+		p := g.pats[rng.Intn(len(g.pats))]
+		if len(p) < n {
+			off := rng.Intn(n - len(p))
+			copy(b[off:], p)
+		}
+	}
+	return b
+}
+
+func factory(config string) (nf.Function, nf.RequestGen, error) {
+	rs := RulesetTea
+	switch config {
+	case "", "tea":
+		rs = RulesetTea
+	case "lite":
+		rs = RulesetLite
+	default:
+		return nil, nil, fmt.Errorf("remfn: unknown config %q (want tea or lite)", config)
+	}
+	f, err := NewFunc(rs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pats [][]byte
+	switch rs {
+	case RulesetTea:
+		pats = synthesizeRules(2500, 4, 8, 25)
+	case RulesetLite:
+		pats = synthesizeRules(4000, 6, 16, 97)
+	}
+	return f, gen{ac: f.ac, pats: pats}, nil
+}
+
+func init() { nf.Register(nf.REM, factory) }

@@ -1,0 +1,229 @@
+package remfn
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"halsim/internal/nf"
+	"halsim/internal/nf/remfn/rx"
+)
+
+func TestRulesetsCompile(t *testing.T) {
+	tea, err := CompileRuleset(RulesetTea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lite, err := CompileRuleset(RulesetLite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lite.NumStates() <= tea.NumStates() {
+		t.Fatalf("lite (%d states) should be more complex than tea (%d states)",
+			lite.NumStates(), tea.NumStates())
+	}
+	if _, err := CompileRuleset("bogus"); err == nil {
+		t.Fatal("unknown ruleset should fail")
+	}
+}
+
+func TestProcessReportsImplantedMatch(t *testing.T) {
+	f, err := NewFunc(RulesetTea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take a known pattern from the synthesized ruleset and implant it.
+	pats := synthesizeRules(2500, 4, 8, 25)
+	payload := make([]byte, 500)
+	for i := range payload {
+		payload[i] = 'Z' // outside the rule alphabet
+	}
+	copy(payload[100:], pats[0])
+	resp, err := f.Process(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := binary.BigEndian.Uint32(resp[0:4])
+	if count == 0 {
+		t.Fatal("implanted pattern not found")
+	}
+	// First match record must point at a real occurrence.
+	end := binary.BigEndian.Uint32(resp[8:12])
+	if end < 100 || int(end) > 100+len(pats[0]) {
+		t.Fatalf("match end %d implausible for implant at 100", end)
+	}
+}
+
+func TestProcessCleanPayload(t *testing.T) {
+	f, err := NewFunc(RulesetTea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1000)
+	for i := range payload {
+		payload[i] = 'Z'
+	}
+	resp, err := f.Process(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binary.BigEndian.Uint32(resp[0:4]) != 0 {
+		t.Fatal("Z-payload should not match lowercase rules")
+	}
+	if len(resp) != 4 {
+		t.Fatalf("clean response should carry no records, len %d", len(resp))
+	}
+}
+
+func TestResponseCapsRecords(t *testing.T) {
+	f, err := NewFunc(RulesetTea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats := synthesizeRules(2500, 4, 8, 25)
+	var payload []byte
+	for i := 0; i < 100; i++ {
+		payload = append(payload, pats[i%10]...)
+	}
+	resp, err := f.Process(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := binary.BigEndian.Uint32(resp[0:4])
+	if count < 100 {
+		t.Fatalf("expected >=100 matches, got %d", count)
+	}
+	if len(resp) != 4+8*16 {
+		t.Fatalf("records must cap at 16: resp len %d", len(resp))
+	}
+}
+
+func TestFactoryConfigs(t *testing.T) {
+	for _, cfg := range []string{"", "tea", "lite"} {
+		fn, gen, err := nf.New(nf.REM, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(10))
+		matched := false
+		for i := 0; i < 30; i++ {
+			resp, err := fn.Process(gen.Next(rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if binary.BigEndian.Uint32(resp[0:4]) > 0 {
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("config %q: generator never produced a matching payload", cfg)
+		}
+	}
+	if _, _, err := nf.New(nf.REM, "snort_full"); err == nil {
+		t.Fatal("bad config should fail")
+	}
+}
+
+func TestRulesetAccessor(t *testing.T) {
+	f, _ := NewFunc(RulesetLite)
+	if f.Ruleset() != RulesetLite {
+		t.Fatal("ruleset accessor")
+	}
+	if f.Automaton() == nil {
+		t.Fatal("automaton accessor")
+	}
+}
+
+func BenchmarkProcessTea(b *testing.B) {
+	f, err := NewFunc(RulesetTea)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1400)
+	rng := rand.New(rand.NewSource(1))
+	const filler = "GET /index.html HTTP/1.1 host: example.com "
+	for i := range payload {
+		payload[i] = filler[rng.Intn(len(filler))]
+	}
+	b.SetBytes(1400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Process(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLiteRulesetRegexStage(t *testing.T) {
+	f, err := NewFunc(RulesetLite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.regexes) == 0 || f.preAC == nil {
+		t.Fatal("lite ruleset must carry regex rules behind a prefilter")
+	}
+	// A payload with no prefilter literal must not run any NFA.
+	clean := make([]byte, 800)
+	for i := range clean {
+		clean[i] = 'Z'
+	}
+	if _, err := f.Process(clean); err != nil {
+		t.Fatal(err)
+	}
+	if f.RegexScans != 0 {
+		t.Fatalf("prefilter failed: %d NFA scans on a clean payload", f.RegexScans)
+	}
+	// Implant a full regex hit: prefilter literal + digits satisfies
+	// at least the "\d+" rule shapes; find one such rule.
+	var hitRule *regexRule
+	for i := range f.regexes {
+		r := &f.regexes[i]
+		if r.re.MatchString(r.prefilter + "1234") {
+			hitRule = r
+			break
+		}
+	}
+	if hitRule == nil {
+		t.Skip("no digit-suffix rule in this synthesis (unexpected but not fatal)")
+	}
+	payload := append([]byte("ZZZZ "), []byte(hitRule.prefilter+"1234 ZZZZ")...)
+	resp, err := f.Process(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.RegexScans == 0 {
+		t.Fatal("prefilter hit should trigger an NFA scan")
+	}
+	if f.RegexMatches == 0 {
+		t.Fatal("implanted regex hit not counted")
+	}
+	if binary.BigEndian.Uint32(resp[0:4]) == 0 {
+		t.Fatal("match count must include regex hits")
+	}
+}
+
+func TestTeaRulesetHasNoRegexStage(t *testing.T) {
+	f, err := NewFunc(RulesetTea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.preAC != nil || len(f.regexes) != 0 {
+		t.Fatal("tea is a literal-only ruleset")
+	}
+}
+
+func TestEscapeLit(t *testing.T) {
+	if got := escapeLit(`a.b?c\d`); got != `a\.b\?c\\d` {
+		t.Fatalf("escapeLit = %q", got)
+	}
+	// Every escaped synthesized literal must compile and match itself.
+	for _, lit := range []string{"x?.y", "a|b", "m(n)o", "p[q]r", "v$w^"} {
+		re, err := rx.Compile(escapeLit(lit))
+		if err != nil {
+			t.Fatalf("escape(%q): %v", lit, err)
+		}
+		if !re.MatchString("zz" + lit + "zz") {
+			t.Fatalf("escaped %q does not match itself", lit)
+		}
+	}
+}

@@ -1,0 +1,543 @@
+// Package rx is a small regular-expression engine for the REM benchmark
+// function: Thompson NFA construction with linear-time simulation (no
+// backtracking), the execution model Hyperscan-class matchers guarantee.
+//
+// Supported syntax: literal bytes, '.', character classes `[a-z0-9]` with
+// negation and ranges, escapes (\d \w \s \D \W \S and \x escaping of
+// metacharacters), alternation `|`, grouping `(...)`, and the quantifiers
+// `*`, `+`, `?`. Matching is byte-oriented and unanchored unless the
+// pattern starts with `^` (or ends with `$`).
+package rx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// --- syntax tree ---
+
+type nodeKind int
+
+const (
+	nLiteral nodeKind = iota // one byte-class
+	nConcat
+	nAlternate
+	nStar
+	nPlus
+	nQuest
+	nEmpty
+)
+
+type node struct {
+	kind nodeKind
+	// class is the byte membership set for nLiteral.
+	class *byteClass
+	subs  []*node
+}
+
+// byteClass is a 256-bit membership set.
+type byteClass struct {
+	bits [4]uint64
+}
+
+func (c *byteClass) add(b byte)      { c.bits[b>>6] |= 1 << (b & 63) }
+func (c *byteClass) has(b byte) bool { return c.bits[b>>6]&(1<<(b&63)) != 0 }
+func (c *byteClass) addRange(lo, hi byte) {
+	for b := int(lo); b <= int(hi); b++ {
+		c.add(byte(b))
+	}
+}
+func (c *byteClass) negate() {
+	for i := range c.bits {
+		c.bits[i] = ^c.bits[i]
+	}
+}
+
+func classOf(bs ...byte) *byteClass {
+	c := &byteClass{}
+	for _, b := range bs {
+		c.add(b)
+	}
+	return c
+}
+
+func dotClass() *byteClass {
+	c := &byteClass{}
+	c.negate() // everything, including newlines: packet payloads are binary
+	return c
+}
+
+func digitClass() *byteClass {
+	c := &byteClass{}
+	c.addRange('0', '9')
+	return c
+}
+
+func wordClass() *byteClass {
+	c := &byteClass{}
+	c.addRange('0', '9')
+	c.addRange('a', 'z')
+	c.addRange('A', 'Z')
+	c.add('_')
+	return c
+}
+
+func spaceClass() *byteClass {
+	return classOf(' ', '\t', '\n', '\r', '\f', '\v')
+}
+
+// --- parser (recursive descent) ---
+
+type parser struct {
+	src string
+	pos int
+}
+
+// SyntaxError reports a malformed pattern.
+type SyntaxError struct {
+	Pattern string
+	Pos     int
+	Msg     string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rx: %s at %d in %q", e.Msg, e.Pos, e.Pattern)
+}
+
+func (p *parser) fail(msg string) error {
+	return &SyntaxError{Pattern: p.src, Pos: p.pos, Msg: msg}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+
+func (p *parser) next() byte {
+	b := p.src[p.pos]
+	p.pos++
+	return b
+}
+
+// parseAlternate := parseConcat ('|' parseConcat)*
+func (p *parser) parseAlternate() (*node, error) {
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	subs := []*node{first}
+	for !p.eof() && p.peek() == '|' {
+		p.next()
+		n, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	if len(subs) == 1 {
+		return first, nil
+	}
+	return &node{kind: nAlternate, subs: subs}, nil
+}
+
+// parseConcat := parseRepeat*
+func (p *parser) parseConcat() (*node, error) {
+	var subs []*node
+	for !p.eof() && p.peek() != '|' && p.peek() != ')' {
+		n, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		subs = append(subs, n)
+	}
+	switch len(subs) {
+	case 0:
+		return &node{kind: nEmpty}, nil
+	case 1:
+		return subs[0], nil
+	}
+	return &node{kind: nConcat, subs: subs}, nil
+}
+
+// parseRepeat := parseAtom ('*' | '+' | '?')?
+func (p *parser) parseRepeat() (*node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.eof() {
+		return atom, nil
+	}
+	switch p.peek() {
+	case '*':
+		p.next()
+		return &node{kind: nStar, subs: []*node{atom}}, nil
+	case '+':
+		p.next()
+		return &node{kind: nPlus, subs: []*node{atom}}, nil
+	case '?':
+		p.next()
+		return &node{kind: nQuest, subs: []*node{atom}}, nil
+	}
+	return atom, nil
+}
+
+func (p *parser) parseAtom() (*node, error) {
+	if p.eof() {
+		return nil, p.fail("unexpected end of pattern")
+	}
+	switch b := p.next(); b {
+	case '(':
+		inner, err := p.parseAlternate()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.next() != ')' {
+			return nil, p.fail("missing )")
+		}
+		return inner, nil
+	case ')':
+		return nil, p.fail("unmatched )")
+	case '[':
+		return p.parseClass()
+	case ']':
+		return nil, p.fail("unmatched ]")
+	case '.':
+		return &node{kind: nLiteral, class: dotClass()}, nil
+	case '*', '+', '?':
+		return nil, p.fail("quantifier with nothing to repeat")
+	case '\\':
+		return p.parseEscape()
+	default:
+		return &node{kind: nLiteral, class: classOf(b)}, nil
+	}
+}
+
+func (p *parser) parseEscape() (*node, error) {
+	if p.eof() {
+		return nil, p.fail("trailing backslash")
+	}
+	cls := &byteClass{}
+	switch b := p.next(); b {
+	case 'd':
+		cls = digitClass()
+	case 'D':
+		cls = digitClass()
+		cls.negate()
+	case 'w':
+		cls = wordClass()
+	case 'W':
+		cls = wordClass()
+		cls.negate()
+	case 's':
+		cls = spaceClass()
+	case 'S':
+		cls = spaceClass()
+		cls.negate()
+	case 'n':
+		cls = classOf('\n')
+	case 't':
+		cls = classOf('\t')
+	case 'r':
+		cls = classOf('\r')
+	default:
+		// Escaped metacharacter or literal byte.
+		cls = classOf(b)
+	}
+	return &node{kind: nLiteral, class: cls}, nil
+}
+
+// parseClass parses the body after '[' up to ']'.
+func (p *parser) parseClass() (*node, error) {
+	cls := &byteClass{}
+	negate := false
+	if !p.eof() && p.peek() == '^' {
+		p.next()
+		negate = true
+	}
+	empty := true
+	for {
+		if p.eof() {
+			return nil, p.fail("missing ]")
+		}
+		b := p.next()
+		if b == ']' && !empty {
+			break
+		}
+		if b == ']' && empty {
+			// literal ] as first member
+			cls.add(']')
+			empty = false
+			continue
+		}
+		if b == '\\' {
+			if p.eof() {
+				return nil, p.fail("trailing backslash in class")
+			}
+			e := p.next()
+			switch e {
+			case 'd':
+				for i := '0'; i <= '9'; i++ {
+					cls.add(byte(i))
+				}
+			case 'w':
+				w := wordClass()
+				for i := 0; i < 256; i++ {
+					if w.has(byte(i)) {
+						cls.add(byte(i))
+					}
+				}
+			case 's':
+				s := spaceClass()
+				for i := 0; i < 256; i++ {
+					if s.has(byte(i)) {
+						cls.add(byte(i))
+					}
+				}
+			case 'n':
+				cls.add('\n')
+			case 't':
+				cls.add('\t')
+			case 'r':
+				cls.add('\r')
+			default:
+				cls.add(e)
+			}
+			empty = false
+			continue
+		}
+		// Range?
+		if !p.eof() && p.peek() == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.next() // consume '-'
+			hi := p.next()
+			if hi == '\\' {
+				if p.eof() {
+					return nil, p.fail("trailing backslash in class range")
+				}
+				hi = p.next()
+			}
+			if hi < b {
+				return nil, p.fail("inverted class range")
+			}
+			cls.addRange(b, hi)
+		} else {
+			cls.add(b)
+		}
+		empty = false
+	}
+	if negate {
+		cls.negate()
+	}
+	return &node{kind: nLiteral, class: cls}, nil
+}
+
+// --- Thompson NFA ---
+
+// state transitions: a state either consumes one byte from a class and
+// moves to out, or is a split with two epsilon edges, or is the match
+// state.
+type stateKind int
+
+const (
+	sByte stateKind = iota
+	sSplit
+	sMatch
+)
+
+type nfaState struct {
+	kind       stateKind
+	class      *byteClass
+	out1, out2 int32
+}
+
+// Regexp is a compiled pattern, safe for concurrent matching.
+type Regexp struct {
+	pattern       string
+	states        []nfaState
+	start         int32
+	anchoredStart bool
+	anchoredEnd   bool
+}
+
+// outRef names one dangling edge of a state (index-based, so the states
+// slice may grow freely while fragments are under construction).
+type outRef struct {
+	state  int32
+	second bool // false: out1, true: out2
+}
+
+// frag is an NFA fragment under construction: a start state and a list of
+// dangling out-edges to patch.
+type frag struct {
+	start int32
+	outs  []outRef
+}
+
+type builder struct {
+	states []nfaState
+}
+
+func (b *builder) alloc(s nfaState) int32 {
+	b.states = append(b.states, s)
+	return int32(len(b.states) - 1)
+}
+
+func (b *builder) build(n *node) frag {
+	switch n.kind {
+	case nEmpty:
+		// epsilon: a split whose both edges dangle; both get patched to
+		// the same target.
+		id := b.alloc(nfaState{kind: sSplit, out1: -1, out2: -1})
+		return frag{start: id, outs: []outRef{{id, false}, {id, true}}}
+	case nLiteral:
+		id := b.alloc(nfaState{kind: sByte, class: n.class, out1: -1})
+		return frag{start: id, outs: []outRef{{id, false}}}
+	case nConcat:
+		f := b.build(n.subs[0])
+		for _, sub := range n.subs[1:] {
+			g := b.build(sub)
+			b.patch(f.outs, g.start)
+			f = frag{start: f.start, outs: g.outs}
+		}
+		return f
+	case nAlternate:
+		cur := b.build(n.subs[0])
+		for _, sub := range n.subs[1:] {
+			g := b.build(sub)
+			id := b.alloc(nfaState{kind: sSplit, out1: cur.start, out2: g.start})
+			cur = frag{start: id, outs: append(cur.outs, g.outs...)}
+		}
+		return cur
+	case nStar:
+		inner := b.build(n.subs[0])
+		id := b.alloc(nfaState{kind: sSplit, out1: inner.start, out2: -1})
+		b.patch(inner.outs, id)
+		return frag{start: id, outs: []outRef{{id, true}}}
+	case nPlus:
+		inner := b.build(n.subs[0])
+		id := b.alloc(nfaState{kind: sSplit, out1: inner.start, out2: -1})
+		b.patch(inner.outs, id)
+		return frag{start: inner.start, outs: []outRef{{id, true}}}
+	case nQuest:
+		inner := b.build(n.subs[0])
+		id := b.alloc(nfaState{kind: sSplit, out1: inner.start, out2: -1})
+		return frag{start: id, outs: append(inner.outs, outRef{id, true})}
+	default:
+		panic("rx: unknown node kind")
+	}
+}
+
+// patch points every dangling edge at target.
+func (b *builder) patch(outs []outRef, target int32) {
+	for _, o := range outs {
+		if o.second {
+			b.states[o.state].out2 = target
+		} else {
+			b.states[o.state].out1 = target
+		}
+	}
+}
+
+// Compile parses and compiles the pattern.
+func Compile(pattern string) (*Regexp, error) {
+	src := pattern
+	anchoredStart := strings.HasPrefix(src, "^")
+	if anchoredStart {
+		src = src[1:]
+	}
+	anchoredEnd := strings.HasSuffix(src, "$") && !strings.HasSuffix(src, "\\$")
+	if anchoredEnd {
+		src = src[:len(src)-1]
+	}
+	p := &parser{src: src}
+	tree, err := p.parseAlternate()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.fail("unexpected character")
+	}
+	b := &builder{states: make([]nfaState, 0, 2*len(src)+8)}
+	f := b.build(tree)
+	match := b.alloc(nfaState{kind: sMatch})
+	b.patch(f.outs, match)
+	return &Regexp{
+		pattern:       pattern,
+		states:        b.states,
+		start:         f.start,
+		anchoredStart: anchoredStart,
+		anchoredEnd:   anchoredEnd,
+	}, nil
+}
+
+// MustCompile is Compile that panics on error (for fixed rulesets).
+func MustCompile(pattern string) *Regexp {
+	r, err := Compile(pattern)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Pattern returns the source pattern.
+func (r *Regexp) Pattern() string { return r.pattern }
+
+// NumStates returns the NFA size (complexity proxy).
+func (r *Regexp) NumStates() int { return len(r.states) }
+
+// addState adds s and its epsilon closure to the sparse set.
+func (r *Regexp) addState(set []int32, mark []uint32, gen uint32, s int32) []int32 {
+	for s >= 0 && mark[s] != gen {
+		mark[s] = gen
+		st := &r.states[s]
+		if st.kind == sSplit {
+			set = r.addState(set, mark, gen, st.out1)
+			s = st.out2
+			continue
+		}
+		set = append(set, s)
+		break
+	}
+	return set
+}
+
+// Match reports whether input contains a match (Thompson simulation:
+// O(len(input) × states), no backtracking).
+func (r *Regexp) Match(input []byte) bool {
+	mark := make([]uint32, len(r.states))
+	var gen uint32 = 1
+	cur := r.addState(nil, mark, gen, r.start)
+	// Unanchored start: new match attempts may begin at every byte.
+	for i := 0; i <= len(input); i++ {
+		// Check for accepting state.
+		for _, s := range cur {
+			if r.states[s].kind == sMatch {
+				if !r.anchoredEnd || i == len(input) {
+					return true
+				}
+			}
+		}
+		if i == len(input) {
+			break
+		}
+		b := input[i]
+		gen++
+		var next []int32
+		for _, s := range cur {
+			st := &r.states[s]
+			if st.kind == sByte && st.class.has(b) {
+				next = r.addState(next, mark, gen, st.out1)
+			}
+		}
+		if !r.anchoredStart {
+			next = r.addState(next, mark, gen, r.start)
+		}
+		cur = next
+		if len(cur) == 0 && r.anchoredStart {
+			return false
+		}
+	}
+	return false
+}
+
+// MatchString is Match for strings.
+func (r *Regexp) MatchString(s string) bool { return r.Match([]byte(s)) }

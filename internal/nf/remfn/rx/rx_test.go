@@ -1,0 +1,229 @@
+package rx
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func mustMatch(t *testing.T, pattern, input string, want bool) {
+	t.Helper()
+	r, err := Compile(pattern)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", pattern, err)
+	}
+	if got := r.MatchString(input); got != want {
+		t.Fatalf("%q.Match(%q) = %v, want %v", pattern, input, got, want)
+	}
+}
+
+func TestBasics(t *testing.T) {
+	mustMatch(t, "abc", "xxabcxx", true)
+	mustMatch(t, "abc", "ab", false)
+	mustMatch(t, "a.c", "azc", true)
+	mustMatch(t, "a.c", "ac", false)
+	mustMatch(t, "ab*c", "ac", true)
+	mustMatch(t, "ab*c", "abbbbc", true)
+	mustMatch(t, "ab+c", "ac", false)
+	mustMatch(t, "ab+c", "abc", true)
+	mustMatch(t, "ab?c", "abc", true)
+	mustMatch(t, "ab?c", "ac", true)
+	mustMatch(t, "ab?c", "abbc", false)
+	mustMatch(t, "a|b", "zzz b", true)
+	mustMatch(t, "a|b", "zzz", false)
+	mustMatch(t, "(ab|cd)+e", "xcdabcde", true)
+}
+
+func TestClasses(t *testing.T) {
+	mustMatch(t, "[abc]+", "zzzb", true)
+	mustMatch(t, "[a-f]+\\d", "xxcafe5", true)
+	mustMatch(t, "[^0-9]", "123", false)
+	mustMatch(t, "[^0-9]", "12a3", true)
+	mustMatch(t, "[]x]", "]", true) // leading ] is literal
+	mustMatch(t, "[a\\-z]", "-", true)
+	mustMatch(t, "\\d\\d\\d", "ab123", true)
+	mustMatch(t, "\\w+@\\w+", "mail bob@host here", true)
+	mustMatch(t, "\\s", "nospace", false)
+	mustMatch(t, "\\S+", "   x", true)
+	mustMatch(t, "\\D", "123", false)
+	mustMatch(t, "\\W", "abc_09", false)
+}
+
+func TestAnchors(t *testing.T) {
+	mustMatch(t, "^abc", "abcdef", true)
+	mustMatch(t, "^abc", "xabc", false)
+	mustMatch(t, "abc$", "xxabc", true)
+	mustMatch(t, "abc$", "abcx", false)
+	mustMatch(t, "^abc$", "abc", true)
+	mustMatch(t, "^abc$", "aabc", false)
+	mustMatch(t, "^a*$", "", true)
+	mustMatch(t, "^a*$", "aaaa", true)
+	mustMatch(t, "^a*$", "aab", false)
+}
+
+func TestEscapedMetachars(t *testing.T) {
+	mustMatch(t, "a\\.b", "a.b", true)
+	mustMatch(t, "a\\.b", "axb", false)
+	mustMatch(t, "a\\*b", "a*b", true)
+	mustMatch(t, "\\(x\\)", "(x)", true)
+	mustMatch(t, "a\\|b", "a|b", true)
+	mustMatch(t, "a\\\\b", "a\\b", true)
+}
+
+func TestEmptyAlternative(t *testing.T) {
+	mustMatch(t, "a(b|)c", "ac", true)
+	mustMatch(t, "a(b|)c", "abc", true)
+	mustMatch(t, "(|x)y", "y", true)
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	for _, bad := range []string{
+		"(", ")", "a(b", "a)b", "[", "[a", "*a", "+", "?x?*+", "a\\",
+		"[z-a]", "[\\",
+	} {
+		if _, err := Compile(bad); err == nil {
+			t.Errorf("Compile(%q) should fail", bad)
+		}
+	}
+	var se *SyntaxError
+	_, err := Compile("(")
+	if e, ok := err.(*SyntaxError); ok {
+		se = e
+	}
+	if se == nil || !strings.Contains(se.Error(), "rx:") {
+		t.Fatalf("error type/message: %v", err)
+	}
+}
+
+func TestMustCompile(t *testing.T) {
+	if MustCompile("ok").Pattern() != "ok" {
+		t.Fatal("pattern accessor")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCompile on bad pattern should panic")
+		}
+	}()
+	MustCompile("(")
+}
+
+func TestBinaryInput(t *testing.T) {
+	r := MustCompile("\\x00*") // \x is a literal 'x' escape in this engine
+	_ = r
+	dot := MustCompile("a.b")
+	if !dot.Match([]byte{'a', 0x00, 'b'}) {
+		t.Fatal("dot must match NUL (binary payloads)")
+	}
+	if !dot.Match([]byte{'a', '\n', 'b'}) {
+		t.Fatal("dot must match newline (binary payloads)")
+	}
+}
+
+func TestNumStatesGrows(t *testing.T) {
+	small := MustCompile("ab")
+	big := MustCompile("(abcd|efgh)+[0-9]*xyz")
+	if big.NumStates() <= small.NumStates() {
+		t.Fatal("bigger pattern should have more NFA states")
+	}
+}
+
+// TestDifferentialVsStdlib compares against regexp/RE2 on random patterns
+// within the supported syntax subset. The one semantic difference — our
+// '.' matches '\n' — is handled by generating '.'-free patterns.
+func TestDifferentialVsStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := "abc01"
+	genAtom := func() string {
+		switch rng.Intn(6) {
+		case 0, 1, 2:
+			return string(alphabet[rng.Intn(len(alphabet))])
+		case 3:
+			return "[ab0]"
+		case 4:
+			return "[^c]"
+		default:
+			return "(a|b0)"
+		}
+	}
+	genPattern := func() string {
+		var b strings.Builder
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			b.WriteString(genAtom())
+			switch rng.Intn(5) {
+			case 0:
+				b.WriteByte('*')
+			case 1:
+				b.WriteByte('?')
+			case 2:
+				b.WriteByte('+')
+			}
+		}
+		return b.String()
+	}
+	for trial := 0; trial < 400; trial++ {
+		pat := genPattern()
+		mine, err := Compile(pat)
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", pat, err)
+		}
+		std, err := regexp.Compile(pat)
+		if err != nil {
+			// Our generator should only emit stdlib-valid patterns.
+			t.Fatalf("stdlib rejected %q: %v", pat, err)
+		}
+		for probe := 0; probe < 20; probe++ {
+			in := make([]byte, rng.Intn(12))
+			for i := range in {
+				in[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			got := mine.Match(in)
+			want := std.Match(in)
+			if got != want {
+				t.Fatalf("pattern %q on %q: rx=%v stdlib=%v", pat, in, got, want)
+			}
+		}
+	}
+}
+
+func TestDifferentialAnchored(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pats := []string{"^ab*c", "a+c$", "^[ab]+$", "^(a|b)c?$"}
+	for _, pat := range pats {
+		mine := MustCompile(pat)
+		std := regexp.MustCompile(pat)
+		for probe := 0; probe < 300; probe++ {
+			in := make([]byte, rng.Intn(8))
+			for i := range in {
+				in[i] = "abc"[rng.Intn(3)]
+			}
+			if mine.Match(in) != std.Match(in) {
+				t.Fatalf("pattern %q on %q: rx=%v stdlib=%v", pat, in, mine.Match(in), std.Match(in))
+			}
+		}
+	}
+}
+
+// TestLinearTimePathological: the classic backtracking killer must stay
+// fast — Thompson simulation is O(n·m).
+func TestLinearTimePathological(t *testing.T) {
+	pat := strings.Repeat("a?", 25) + strings.Repeat("a", 25)
+	r := MustCompile(pat)
+	in := []byte(strings.Repeat("a", 25))
+	if !r.Match(in) {
+		t.Fatal("pathological pattern should match")
+	}
+}
+
+func BenchmarkMatchMTU(b *testing.B) {
+	r := MustCompile("(GET|POST) /[a-z0-9/]+ HTTP")
+	payload := []byte(strings.Repeat("xjunkx ", 100) + "GET /index/page0 HTTP/1.1" + strings.Repeat(" tail", 50))
+	b.SetBytes(int64(len(payload)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !r.Match(payload) {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package platform
+
+// Support reproduces Table I: which BlueField-2 functions are also
+// supported by Intel ISA extensions and/or QAT on the host.
+type Support struct {
+	Function string
+	ISA      bool
+	QAT      bool
+}
+
+// Table1 returns the acceleration-support matrix exactly as published.
+func Table1() []Support {
+	return []Support{
+		{"SHA", true, true}, {"RSA", true, true}, {"EC-DH", true, true},
+		{"AES", true, true}, {"DSA", true, true}, {"EC-DSA", true, true},
+		{"Deflate", true, true}, {"RAND", true, true}, {"GHASH", true, false},
+		{"HMAC", true, true}, {"MD5", true, false}, {"DES-EDE3", true, false},
+		{"Whirlpool", true, false}, {"RMD160", true, false}, {"DES-CBC", true, false},
+		{"Camellia", true, false}, {"RC2-CBC", true, false}, {"RC4", true, false},
+		{"Blowfish", true, false}, {"SEED-CBC", true, false}, {"CAST-CBC", true, false},
+		{"EdDSA", true, false}, {"MD4", true, false},
+	}
+}

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"math/rand"
+
+	"halsim/internal/nf"
+	"halsim/internal/packet"
+	"halsim/internal/sim"
+	"halsim/internal/trace"
+)
+
+// maxGapNS caps a constant-rate generator's inter-arrival draw (an hour of
+// simulated time — effectively "no more packets this run") so float gaps
+// never overflow sim.Time.
+const maxGapNS = float64(3600 * sim.Second)
+
+// client is the open-loop packet generator of §VI: it offers traffic at a
+// controlled rate — constant for the sweep experiments, log-normal
+// modulated for the datacenter workloads — independent of how the server
+// keeps up.
+type client struct {
+	eng  *sim.Engine
+	rng  *rand.Rand
+	addr packet.Addr
+	dst  packet.Addr
+
+	rateGbps float64
+	sizes    *trace.SizeDist
+	gen      nf.RequestGen // optional: real request payloads
+	genAlt   nf.RequestGen // payloads for mix-tagged packets
+	emit     func(*packet.Packet)
+
+	// mixFrac is the probability a packet carries FnTag 1 (the second
+	// function of a mix); mixShiftAt switches from mixFracBefore to
+	// mixFrac at that instant, modeling a workload change at run time.
+	mixFrac       float64
+	mixFracBefore float64
+	mixShiftAt    sim.Time
+
+	tracegen *trace.Generator
+	epoch    sim.Time
+
+	// warmupEnd gates the measured counters: only packets created at
+	// or after it count toward offered load, so every mode is measured
+	// over the same packet population.
+	warmupEnd sim.Time
+
+	seq       uint64
+	sentPkts  uint64
+	sentBytes uint64
+	stopped   bool
+}
+
+// start arms the arrival process (and the trace epoch timer, if tracing).
+func (c *client) start() {
+	if c.tracegen != nil {
+		c.rateGbps = c.tracegen.NextRateGbps()
+		c.eng.Every(c.epoch, func() {
+			if !c.stopped {
+				c.rateGbps = c.tracegen.NextRateGbps()
+			}
+		})
+	}
+	c.scheduleNext()
+}
+
+func (c *client) stop() { c.stopped = true }
+
+// scheduleNext draws the next interarrival. Arrivals are Poisson within an
+// epoch: exponential gaps with mean wireBits/rate, which produces the
+// natural queueing tails a paced generator would hide. Gaps longer than an
+// epoch are censored into a retry at the epoch boundary — by then the
+// trace has re-drawn the rate, so a near-zero epoch cannot stall the
+// generator for the rest of the run, and the resulting per-epoch Bernoulli
+// thinning still realizes the correct sparse-regime rate.
+func (c *client) scheduleNext() {
+	if c.stopped {
+		return
+	}
+	if c.rateGbps <= 0 {
+		c.eng.Schedule(c.epoch, c.scheduleNext)
+		return
+	}
+	size := c.sizes.Sample(c.rng)
+	meanGapNS := float64(size) * 8 / c.rateGbps
+	gapF := c.rng.ExpFloat64() * meanGapNS
+	// Compare in the float domain: a near-zero epoch rate can push the
+	// gap past int64 range, and converting first would wrap negative.
+	if c.tracegen != nil && gapF > float64(c.epoch) {
+		c.eng.Schedule(c.epoch, c.scheduleNext)
+		return
+	}
+	if gapF > maxGapNS {
+		gapF = maxGapNS
+	}
+	gap := sim.Time(gapF)
+	c.eng.Schedule(gap, func() {
+		if c.stopped {
+			return
+		}
+		c.send(size)
+		c.scheduleNext()
+	})
+}
+
+func (c *client) send(size int) {
+	frac := c.mixFrac
+	if c.mixShiftAt > 0 && c.eng.Now() < c.mixShiftAt {
+		frac = c.mixFracBefore
+	}
+	tag := uint8(0)
+	if frac > 0 && c.rng.Float64() < frac {
+		tag = 1
+	}
+	var payload []byte
+	if tag == 1 && c.genAlt != nil {
+		payload = c.genAlt.Next(c.rng)
+	} else if c.gen != nil {
+		payload = c.gen.Next(c.rng)
+	}
+	c.seq++
+	p := packet.New(c.addr, c.dst, uint16(4000+c.seq%1000), 9000, payload)
+	p.ID = c.seq
+	p.WireLen = size
+	if real := len(payload) + packet.HeaderOverhead; real > p.WireLen {
+		p.WireLen = real
+	}
+	p.FnTag = tag
+	p.CreatedAt = int64(c.eng.Now())
+	if c.eng.Now() >= c.warmupEnd {
+		c.sentPkts++
+		c.sentBytes += uint64(p.WireLen)
+	}
+	c.emit(p)
+}

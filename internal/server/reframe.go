@@ -1,0 +1,97 @@
+package server
+
+import (
+	"encoding/binary"
+
+	"halsim/internal/nf"
+)
+
+// reframe adapts the output of one network function into a well-formed
+// request for the next pipeline stage — the glue a real deployment's
+// inter-function shim performs (the paper pipes, e.g., NAT's output into
+// REM). Each target function gets the smallest framing that makes the
+// bytes a valid request while preserving the upstream content.
+func reframe(out []byte, next nf.ID) []byte {
+	switch next {
+	case nf.REM:
+		// REM scans arbitrary bytes.
+		return out
+	case nf.Crypto:
+		// Prefix an algorithm selector; the payload is the operand.
+		req := make([]byte, 1+len(out))
+		req[0] = 0x01 // AlgRSA
+		copy(req[1:], out)
+		if len(req) < 2 {
+			req = append(req, 0x02)
+		}
+		return req
+	case nf.Comp:
+		req := make([]byte, 1+len(out))
+		req[0] = 0x01 // OpCompress
+		copy(req[1:], out)
+		if len(req) < 2 {
+			req = append(req, 0)
+		}
+		return req
+	case nf.Count:
+		// Batch of 8-byte keys: zero-pad to alignment.
+		n := len(out)
+		if n == 0 {
+			n = 8
+		} else if n%8 != 0 {
+			n += 8 - n%8
+		}
+		req := make([]byte, n)
+		copy(req, out)
+		return req
+	case nf.EMA:
+		n := len(out)
+		if n == 0 {
+			n = 12
+		} else if n%12 != 0 {
+			n += 12 - n%12
+		}
+		req := make([]byte, n)
+		copy(req, out)
+		return req
+	case nf.KVS:
+		// Read the key derived from the upstream output.
+		key := out
+		if len(key) > 16 {
+			key = key[:16]
+		}
+		req := make([]byte, 3+len(key))
+		req[0] = 0x01 // OpRead
+		binary.BigEndian.PutUint16(req[1:3], uint16(len(key)))
+		copy(req[3:], key)
+		return req
+	case nf.KNN:
+		req := make([]byte, 1+4*16)
+		req[0] = 5
+		copy(req[1:], out)
+		return req
+	case nf.Bayes:
+		req := make([]byte, 16) // 128-feature bitmap
+		copy(req, out)
+		return req
+	case nf.BM25:
+		// Up to 4 terms from the upstream bytes.
+		n := len(out) / 2
+		if n > 4 {
+			n = 4
+		}
+		if n == 0 {
+			n = 1
+		}
+		req := make([]byte, 1+2*n)
+		req[0] = byte(n)
+		copy(req[1:], out)
+		return req
+	case nf.NAT:
+		req := make([]byte, 12)
+		copy(req, out)
+		return req
+	default:
+		return out
+	}
+}

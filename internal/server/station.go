@@ -1,0 +1,146 @@
+package server
+
+import (
+	"math/rand"
+
+	"halsim/internal/dpdk"
+	"halsim/internal/packet"
+	"halsim/internal/platform"
+	"halsim/internal/sim"
+)
+
+// station models one processor complex (SNIC CPU, SNIC accelerator, host
+// CPU, host accelerator, or the SLB forwarding cores): k servers, each
+// polling its own DPDK Rx ring, with per-packet service times drawn from a
+// platform profile.
+type station struct {
+	eng  *sim.Engine
+	name string
+	prof platform.FnProfile
+	// altProf, when non-nil, serves packets tagged FnTag==1 — the
+	// function-mix scenario that motivates the dynamic LBP (§V-B).
+	altProf *platform.FnProfile
+	port    *dpdk.Port
+	rng     *rand.Rand
+
+	busy []bool
+
+	// sleep, when non-nil, applies the DPDK power-management model: the
+	// whole station sleeps when idle and the waking packet pays the
+	// penalty (§V-B).
+	sleep *dpdk.SleepController
+
+	// extra, when non-nil, returns additional service time for a packet
+	// (coherent state access, pipelined second function, ...). It runs
+	// at service start.
+	extra func(*packet.Packet) sim.Time
+
+	// onServed fires at service completion with the served packet.
+	onServed func(*packet.Packet)
+
+	// Accounting.
+	pktsDone  uint64
+	bytesDone uint64
+	busyTime  sim.Time
+	// window accumulators for power sampling: bytes served since the
+	// last power sample.
+	windowBytes int64
+}
+
+func newStation(eng *sim.Engine, name string, prof platform.FnProfile, ringSize int, seed int64) *station {
+	return &station{
+		eng:  eng,
+		name: name,
+		prof: prof,
+		port: dpdk.NewPort(prof.Servers, ringSize),
+		rng:  rand.New(rand.NewSource(seed)),
+		busy: make([]bool, prof.Servers),
+	}
+}
+
+// enqueue delivers p to the station's RSS queue, returning false on a tail
+// drop. If the owning core is idle it starts serving, paying the wake-up
+// penalty first when the station was asleep.
+func (s *station) enqueue(p *packet.Packet) bool {
+	var penalty sim.Time
+	if s.sleep != nil {
+		penalty = s.sleep.OnTraffic(s.eng.Now())
+	}
+	h := uint64(p.SrcPort)<<16 ^ p.ID
+	core := int(h % uint64(s.port.NumQueues()))
+	if !s.port.Queue(core).Enqueue(p) {
+		return false
+	}
+	if !s.busy[core] {
+		s.busy[core] = true
+		s.eng.Schedule(penalty, func() { s.serve(core) })
+	}
+	return true
+}
+
+// serve runs one core's poll loop: take the ring head, hold the core for
+// the service time, deliver, repeat until the ring drains.
+func (s *station) serve(core int) {
+	p := s.port.Queue(core).Pop()
+	if p == nil {
+		s.busy[core] = false
+		if s.sleep != nil && s.port.TotalBacklog() == 0 && !s.anyBusy() {
+			s.sleep.OnIdle(s.eng.Now())
+		}
+		return
+	}
+	prof := s.prof
+	if p.FnTag == 1 && s.altProf != nil {
+		prof = *s.altProf
+	}
+	st := prof.ServiceTime(p.WireLen, s.rng)
+	if s.extra != nil {
+		st += s.extra(p)
+	}
+	s.busyTime += st
+	s.eng.Schedule(st, func() {
+		s.pktsDone++
+		s.bytesDone += uint64(p.WireLen)
+		s.windowBytes += int64(p.WireLen)
+		if s.onServed != nil {
+			s.onServed(p)
+		}
+		s.serve(core)
+	})
+}
+
+func (s *station) anyBusy() bool {
+	for _, b := range s.busy {
+		if b {
+			return true
+		}
+	}
+	return false
+}
+
+// busyCores returns how many servers are mid-service.
+func (s *station) busyCores() int {
+	n := 0
+	for _, b := range s.busy {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// takeWindowBytes returns and resets the bytes served since the last call
+// (power sampling).
+func (s *station) takeWindowBytes() int64 {
+	b := s.windowBytes
+	s.windowBytes = 0
+	return b
+}
+
+// utilization is the long-run fraction of core-time spent serving.
+func (s *station) utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 || s.prof.Servers == 0 {
+		return 0
+	}
+	return float64(s.busyTime) / (float64(elapsed) * float64(s.prof.Servers))
+}

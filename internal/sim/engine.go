@@ -1,0 +1,172 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Time is modeled as int64 nanoseconds. Events scheduled for the same
+// instant fire in scheduling order (FIFO), which makes every run with the
+// same inputs bit-for-bit reproducible. The engine is deliberately
+// single-threaded: simulated concurrency comes from interleaved events, not
+// goroutines, so there are no data races and no timing nondeterminism.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a simulated timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Common durations expressed in simulation Time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts a standard library duration to simulated Time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds reports t as a float64 number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as a float64 number of microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	heap      eventHeap
+	now       Time
+	seq       uint64
+	processed uint64
+	stopped   bool
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Schedule runs fn after delay. A negative delay panics: simulated time
+// cannot move backwards.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute time t, which must not precede the current time.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.heap, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Stop makes the current Run/RunUntil return after the in-flight event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// RunUntil executes events in timestamp order until the queue empties, Stop
+// is called, or the next event would fire after deadline. The clock is left
+// at deadline if the horizon was reached, so periodic processes restarted
+// later resume consistently.
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		next := e.heap[0]
+		if next.at > deadline {
+			e.now = deadline
+			return
+		}
+		heap.Pop(&e.heap)
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+}
+
+// Run executes every pending event (including ones scheduled while running)
+// until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for len(e.heap) > 0 && !e.stopped {
+		next := heap.Pop(&e.heap).(*event)
+		e.now = next.at
+		e.processed++
+		next.fn()
+	}
+}
+
+// Ticker invokes fn every period until cancel is called or the engine
+// stops scheduling it. fn observes the engine clock via Engine.Now.
+type Ticker struct {
+	cancelled bool
+}
+
+// Cancel stops future ticks. The in-flight tick, if any, still completes.
+func (t *Ticker) Cancel() { t.cancelled = true }
+
+// Every schedules fn to run every period, starting one period from now.
+// It returns a Ticker whose Cancel method stops the repetition.
+func (e *Engine) Every(period Time, fn func()) *Ticker {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: non-positive period %d", period))
+	}
+	t := &Ticker{}
+	var tick func()
+	tick = func() {
+		if t.cancelled {
+			return
+		}
+		fn()
+		if !t.cancelled {
+			e.Schedule(period, tick)
+		}
+	}
+	e.Schedule(period, tick)
+	return t
+}

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30, func() { got = append(got, 3) })
+	e.Schedule(10, func() { got = append(got, 1) })
+	e.Schedule(20, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(50, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := 0; i < 100; i++ {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: got[%d]=%d", i, got[i])
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	e.Schedule(10, func() {
+		hits++
+		e.Schedule(5, func() {
+			hits++
+			if e.Now() != 15 {
+				t.Errorf("nested Now = %d, want 15", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2", hits)
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(100, func() { fired = append(fired, e.Now()) })
+	e.Schedule(300, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(200)
+	if len(fired) != 1 || fired[0] != 100 {
+		t.Fatalf("fired = %v, want [100]", fired)
+	}
+	if e.Now() != 200 {
+		t.Fatalf("Now = %d, want clamped to 200", e.Now())
+	}
+	e.RunUntil(400)
+	if len(fired) != 2 || fired[1] != 300 {
+		t.Fatalf("fired = %v, want [100 300]", fired)
+	}
+}
+
+func TestRunUntilEmptyAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(5000)
+	if e.Now() != 5000 {
+		t.Fatalf("Now = %d, want 5000", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	var count int
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (stopped)", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative delay")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestAtBeforeNowPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic scheduling in the past")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := e.Every(10, func() {
+		ticks = append(ticks, e.Now())
+	})
+	e.Schedule(35, func() { tk.Cancel() })
+	e.RunUntil(100)
+	want := []Time{10, 20, 30}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero period")
+		}
+	}()
+	NewEngine().Every(0, func() {})
+}
+
+func TestProcessedCount(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 42; i++ {
+		e.Schedule(Time(i), func() {})
+	}
+	e.Run()
+	if e.Processed() != 42 {
+		t.Fatalf("Processed = %d, want 42", e.Processed())
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	if Duration(3*time.Microsecond) != 3*Microsecond {
+		t.Fatal("Duration conversion wrong")
+	}
+	if got := (2500 * Microsecond).Seconds(); got != 0.0025 {
+		t.Fatalf("Seconds = %v", got)
+	}
+	if got := (1500 * Nanosecond).Micros(); got != 1.5 {
+		t.Fatalf("Micros = %v", got)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Time(i%1000), func() {})
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func TestQuickPropertyOrdering(t *testing.T) {
+	// Property: for any set of (delay, id) pairs scheduled up front, the
+	// engine fires them sorted by delay, FIFO within equal delays.
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		type tag struct {
+			at  Time
+			seq int
+		}
+		var fired []tag
+		for i, d := range delays {
+			d, i := Time(d), i
+			e.Schedule(d, func() { fired = append(fired, tag{d, i}) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	if h.P99() != 0 {
+		t.Fatal("empty P99 should be 0")
+	}
+}
+
+func TestHistogramSingle(t *testing.T) {
+	h := NewHistogram()
+	h.Record(12345)
+	if h.Count() != 1 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 12345 || h.Max() != 12345 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 12345 {
+			t.Fatalf("Quantile(%v) = %d, want 12345", q, got)
+		}
+	}
+}
+
+func TestHistogramSmallValuesExact(t *testing.T) {
+	// Values below the sub-bucket count are stored exactly.
+	h := NewHistogram()
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got != 31 && got != 32 {
+		t.Fatalf("median = %d, want 31 or 32", got)
+	}
+	if h.Max() != 63 || h.Min() != 0 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	ex := &Exact{}
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, like latencies ns..ms.
+		v := int64(math.Exp(rng.Float64() * 14))
+		h.Record(v)
+		ex.Record(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		approx := float64(h.Quantile(q))
+		exact := float64(ex.Quantile(q))
+		if exact == 0 {
+			continue
+		}
+		rel := math.Abs(approx-exact) / exact
+		if rel > 0.04 {
+			t.Errorf("q=%v: approx %v vs exact %v, rel err %.3f > 4%%", q, approx, exact, rel)
+		}
+		if approx < exact*0.999 {
+			t.Errorf("q=%v: histogram under-reports (%v < %v)", q, approx, exact)
+		}
+	}
+}
+
+func TestHistogramQuantilePropertyMonotone(t *testing.T) {
+	f := func(vals []uint32) bool {
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramQuantileWithinRange(t *testing.T) {
+	f := func(vals []uint16, qRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Record(int64(v))
+		}
+		q := float64(qRaw) / 255
+		got := h.Quantile(q)
+		return got >= h.Min() && got <= h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(0); i < 1000; i++ {
+		a.Record(i)
+		b.Record(i + 5000)
+	}
+	a.Merge(b)
+	if a.Count() != 2000 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != 0 || a.Max() != 5999 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+	med := a.Quantile(0.5)
+	if med < 900 || med > 5100 {
+		t.Fatalf("merged median = %d, expected near the gap", med)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(100)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.Record(7)
+	if h.Min() != 7 || h.Max() != 7 {
+		t.Fatal("reuse after reset broken")
+	}
+}
+
+func TestHistogramRecordN(t *testing.T) {
+	h := NewHistogram()
+	h.RecordN(50, 99)
+	h.RecordN(1000000, 1)
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.P50() != 50 {
+		t.Fatalf("p50 = %d, want 50", h.P50())
+	}
+	if p99 := h.P99(); p99 != 50 {
+		// rank ceil(0.99*100)=99 → still the 50s.
+		t.Fatalf("p99 = %d, want 50", p99)
+	}
+	if h.Quantile(0.995) < 900000 {
+		t.Fatalf("q0.995 = %d, want ~1e6", h.Quantile(0.995))
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("negative sample should clamp to 0")
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	e := &Exact{}
+	for i := int64(1); i <= 100; i++ {
+		e.Record(i)
+	}
+	if got := e.Quantile(0.99); got != 99 {
+		t.Fatalf("exact p99 = %d, want 99", got)
+	}
+	if got := e.Quantile(0); got != 1 {
+		t.Fatalf("exact p0 = %d, want 1", got)
+	}
+	if got := e.Quantile(1); got != 100 {
+		t.Fatalf("exact p100 = %d, want 100", got)
+	}
+}
+
+func TestBucketRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for _, v := range []int64{0, 1, 63, 64, 65, 127, 128, 1000, 123456, 1 << 40} {
+		idx := h.bucketIndex(v)
+		lo, hi := h.bucketLow(idx), h.bucketHigh(idx)
+		if v < lo || v > hi {
+			t.Errorf("value %d not in bucket [%d,%d] (idx %d)", v, lo, hi, idx)
+		}
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	m := NewRateMeter(10_000) // 10µs window
+	m.Add(1250)               // 1250 bytes in 10µs = 125 MB/s = 1 Gbps
+	r := m.Roll()
+	if math.Abs(r-1.25e8) > 1 {
+		t.Fatalf("rate = %v, want 1.25e8 B/s", r)
+	}
+	if m.Rate() != r {
+		t.Fatal("Rate() should return last rolled value")
+	}
+	if !m.HaveSample() {
+		t.Fatal("HaveSample should be true after Roll")
+	}
+	if m.Roll() != 0 {
+		t.Fatal("empty window should roll to 0")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Update(10) != 10 {
+		t.Fatal("first sample should initialize")
+	}
+	if got := e.Update(20); got != 15 {
+		t.Fatalf("ewma = %v, want 15", got)
+	}
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Mean() != 5 {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	if math.Abs(w.Stddev()-2) > 1e-9 {
+		t.Fatalf("stddev = %v, want 2", w.Stddev())
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Fatalf("Bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Fatal("Bar should clamp")
+	}
+	if Bar(0, 10, 10) != "" || Bar(5, 0, 10) != "" {
+		t.Fatal("degenerate bars should be empty")
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000000 + 1))
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(rng.Int63n(1 << 30))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.99)
+	}
+}
