@@ -6,7 +6,8 @@
 //	halbench [-quick] [-seed N] [experiment ...]
 //
 // With no experiment arguments it runs all of them. Valid names: tab1,
-// fig2, fig3, fig4, fig5, fig8, fig9, fig10, tab2, tab5, costs.
+// fig2, fig3, fig4, fig5, fig8, fig9, fig10, tab2, tab5, costs, ablation,
+// faults, validate.
 package main
 
 import (
@@ -154,6 +155,20 @@ func main() {
 			emit(experiments.DVFSEstimate())
 			return nil
 		},
+		"faults": func(o experiments.Options) error {
+			r, err := experiments.Faults(o)
+			if err != nil {
+				return err
+			}
+			emit(r.Table())
+			for _, p := range r.Points {
+				if !p.LedgerOK() {
+					return fmt.Errorf("packet ledger leak in %s/%s: %d sent, %d completed, %d dropped, %d in flight",
+						p.Name, p.Fn, p.Sent, p.Completed, p.Dropped, p.InFlight)
+				}
+			}
+			return nil
+		},
 		"validate": func(o experiments.Options) error {
 			r, err := experiments.Validate(o)
 			if err != nil {
@@ -166,7 +181,7 @@ func main() {
 			return nil
 		},
 	}
-	order := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig5", "fig8", "fig9", "tab5", "fig10", "costs", "ablation", "validate"}
+	order := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig5", "fig8", "fig9", "tab5", "fig10", "costs", "ablation", "faults", "validate"}
 
 	names := flag.Args()
 	if len(names) == 0 {

@@ -7,6 +7,7 @@
 //	halsim -mode snic -fn REM -rate 30 -duration 500ms
 //	halsim -mode hal -fn Count -workload hadoop -cxl
 //	halsim -mode slb -fn NAT -rate 80 -slb-cores 4 -slb-th 20
+//	halsim -mode hal -fn NAT -rate 60 -fault core-crash -fault-cores 4
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"halsim/internal/cxl"
+	"halsim/internal/fault"
 	"halsim/internal/nf"
 	"halsim/internal/server"
 	"halsim/internal/sim"
@@ -37,6 +39,12 @@ func main() {
 		slbCores = flag.Int("slb-cores", 4, "SLB forwarding cores (slb mode)")
 		slbTh    = flag.Float64("slb-th", 20, "SLB FwdTh in Gbps (slb mode)")
 		function = flag.Bool("functional", false, "execute the real network function per packet")
+
+		faultKind  = flag.String("fault", "", "inject a fault: core-crash | rx-drop | telemetry | accel-degrade")
+		faultAt    = flag.Duration("fault-at", 100*time.Millisecond, "fault onset")
+		faultFor   = flag.Duration("fault-for", 100*time.Millisecond, "fault duration")
+		faultCores = flag.Int("fault-cores", 2, "SNIC cores to crash (core-crash fault)")
+		faultDrop  = flag.Float64("fault-drop", 0.2, "drop probability (rx-drop fault)")
 	)
 	flag.Parse()
 
@@ -74,18 +82,42 @@ func main() {
 
 	rc := server.RunConfig{Duration: sim.Duration(*duration), RateGbps: *rate}
 	if *workload != "" {
-		var w trace.Workload
-		switch strings.ToLower(*workload) {
-		case "web":
-			w = trace.Web
-		case "cache":
-			w = trace.Cache
-		case "hadoop":
-			w = trace.Hadoop
-		default:
-			fail("unknown workload %q", *workload)
+		w, err := trace.ParseWorkload(strings.ToLower(*workload))
+		if err != nil {
+			fail("%v", err)
 		}
 		rc.Workload = &w
+	}
+
+	if *faultKind != "" {
+		from, until := sim.Duration(*faultAt), sim.Duration(*faultAt+*faultFor)
+		// A window reaching the end of the run never clears: recovery events
+		// land at the finish line and there is no "after" phase.
+		if until > rc.Duration {
+			until = rc.Duration
+		}
+		plan := fault.NewPlan(*seed)
+		switch strings.ToLower(*faultKind) {
+		case "core-crash":
+			plan.CrashSNICCores(from, until, *faultCores)
+		case "rx-drop":
+			plan.DropSNICRx(from, until, *faultDrop)
+		case "telemetry":
+			plan.BlackoutTelemetry(from, until)
+		case "accel-degrade":
+			plan.DegradeSNICAccel(from, until)
+		default:
+			fail("unknown fault %q (want core-crash, rx-drop, telemetry, or accel-degrade)", *faultKind)
+		}
+		cfg.Faults = plan
+		// Mark the fault window so the report can show before/during/after,
+		// and drain so the packet-conservation audit closes exactly. A window
+		// running to the end of the run has no "after" phase.
+		rc.PhaseMarks = []sim.Time{from, until}
+		if until >= rc.Duration {
+			rc.PhaseMarks = []sim.Time{from}
+		}
+		rc.Drain = true
 	}
 
 	start := time.Now()
@@ -111,6 +143,23 @@ func main() {
 	}
 	if res.CoherenceRemote > 0 {
 		fmt.Printf("  coherence   %8d remote transfers/invalidations\n", res.CoherenceRemote)
+	}
+	if *faultKind != "" {
+		fmt.Printf("  faults      %d events, %d crashes, %d requeued, %d fault drops, %d LBP holds\n",
+			res.FaultEvents, res.CoreCrashes, res.Requeued, res.FaultDrops, res.LBPHolds)
+		if res.FailoverTicks >= 0 {
+			fmt.Printf("  failover    Fwd_Th snapped in %d LBP ticks\n", res.FailoverTicks)
+		}
+		for i, ph := range res.Phases {
+			names := []string{"before", "during", "after "}
+			name := fmt.Sprintf("phase%d", i)
+			if len(res.Phases) <= 3 && i < len(names) {
+				name = names[i]
+			}
+			fmt.Printf("  %s      %8.2f Gbps, p99 %.1f us, %.1f W\n", name, ph.AvgGbps, ph.P99us, ph.AvgPowerW)
+		}
+		fmt.Printf("  ledger      %d sent = %d completed + %d dropped (in-flight %d)\n",
+			res.SentAll, res.CompletedAll, res.DroppedAll, res.InFlightEnd)
 	}
 	fmt.Printf("  [%d packets simulated in %v]\n", res.Sent, time.Since(start).Round(time.Millisecond))
 }

@@ -22,6 +22,7 @@ package halsim
 import (
 	"halsim/internal/cxl"
 	"halsim/internal/experiments"
+	"halsim/internal/fault"
 	"halsim/internal/nf"
 	"halsim/internal/platform"
 	"halsim/internal/server"
@@ -100,6 +101,27 @@ const (
 // Workloads lists the three traces.
 var Workloads = trace.Workloads
 
+// ParseWorkload resolves a workload name ("web", "cache", "hadoop").
+func ParseWorkload(name string) (Workload, error) { return trace.ParseWorkload(name) }
+
+// FaultPlan is a deterministic schedule of fault events — core crashes and
+// recoveries, accelerator degradation, Rx-ring drop faults, telemetry
+// blackout — injected into a run via Config.Faults. Same seed + same plan
+// ⇒ identical results. Build one with NewFaultPlan and its chainable
+// schedule methods (CrashSNICCores, DropSNICRx, BlackoutTelemetry,
+// DegradeSNICAccel, ...).
+type FaultPlan = fault.Plan
+
+// FaultEvent is one timed fault of a FaultPlan.
+type FaultEvent = fault.Event
+
+// NewFaultPlan returns an empty fault plan with the given fault seed.
+func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
+
+// PhaseStats are the per-window metrics of a phased run (Result.Phases,
+// cut at RunConfig.PhaseMarks).
+type PhaseStats = server.PhaseStats
+
 // Platform is a processor-complex model (service profiles + power).
 type Platform = platform.Platform
 
@@ -151,5 +173,6 @@ var (
 	Table2          = experiments.Table2
 	Table5          = experiments.Table5
 	Costs           = experiments.Costs
+	Faults          = experiments.Faults
 	Validate        = experiments.Validate
 )

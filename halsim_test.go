@@ -54,6 +54,43 @@ func TestFacadeFabric(t *testing.T) {
 	}
 }
 
+func TestFacadeFaultPlan(t *testing.T) {
+	from, to := 20*halsim.Millisecond, 30*halsim.Millisecond
+	plan := halsim.NewFaultPlan(1).CrashSNICCores(from, to, 2)
+	res, err := halsim.Run(
+		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 1, Faults: plan},
+		halsim.RunConfig{
+			Duration:   50 * halsim.Millisecond,
+			RateGbps:   40,
+			PhaseMarks: []halsim.Time{from, to},
+			Drain:      true,
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CoreCrashes != 2 || res.FaultEvents != 4 {
+		t.Fatalf("crashes = %d, events = %d", res.CoreCrashes, res.FaultEvents)
+	}
+	if len(res.Phases) != 3 {
+		t.Fatalf("phases = %d", len(res.Phases))
+	}
+	if res.SentAll != res.CompletedAll+res.DroppedAll || res.InFlightEnd != 0 {
+		t.Fatalf("ledger leak: %d sent, %d completed, %d dropped, %d in flight",
+			res.SentAll, res.CompletedAll, res.DroppedAll, res.InFlightEnd)
+	}
+}
+
+func TestFacadeParseWorkload(t *testing.T) {
+	w, err := halsim.ParseWorkload("hadoop")
+	if err != nil || w != halsim.Hadoop {
+		t.Fatalf("ParseWorkload: %v %v", w, err)
+	}
+	if _, err := halsim.ParseWorkload("nope"); err == nil {
+		t.Fatal("bad workload name should fail")
+	}
+}
+
 func TestFacadeWorkloads(t *testing.T) {
 	if len(halsim.Workloads) != 3 {
 		t.Fatal("expected three workloads")

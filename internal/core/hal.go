@@ -59,6 +59,18 @@ type Config struct {
 	// profiling a function offline and pinning the threshold (§V-B) —
 	// and is the baseline the LBP ablation compares against.
 	Frozen bool
+
+	// StaleTicks arms the telemetry watchdog: after this many LBP ticks
+	// without a fresh traffic-monitor window the policy holds Fwd_Th
+	// instead of acting on stale occupancy/rate readings. 0 disables the
+	// watchdog.
+	StaleTicks int
+	// FailoverTicks bounds the capacity-loss failover: when the SNIC
+	// loses cores, Fwd_Th is snapped down to the surviving capacity's
+	// share within at most this many ticks, so diverted traffic fails
+	// over to the host within FailoverTicks·LBPPeriod. 0 snaps on the
+	// next tick.
+	FailoverTicks int
 }
 
 // DefaultConfig returns the configuration used by the evaluation.
@@ -74,6 +86,8 @@ func DefaultConfig(snic, host packet.Addr) Config {
 		DeltaTPGbps:      2,
 		WMLow:            2,
 		WMHigh:           16,
+		StaleTicks:       3,
+		FailoverTicks:    2,
 	}
 }
 
@@ -87,6 +101,9 @@ func (c Config) validate() error {
 	if c.WMLow >= c.WMHigh {
 		return fmt.Errorf("core: WMLow %d must be below WMHigh %d", c.WMLow, c.WMHigh)
 	}
+	if c.StaleTicks < 0 || c.FailoverTicks < 0 {
+		return fmt.Errorf("core: negative watchdog tick counts")
+	}
 	return nil
 }
 
@@ -95,9 +112,11 @@ func (c Config) validate() error {
 type TrafficMonitor struct {
 	meter    *stats.RateMeter
 	rateGbps float64
-	// Packets and Bytes count everything ever observed.
+	// Packets and Bytes count everything ever observed; Rolls counts
+	// closed windows (the freshness signal the LBP watchdog consumes).
 	Packets uint64
 	Bytes   uint64
+	Rolls   uint64
 }
 
 // NewTrafficMonitor returns a monitor with the given window.
@@ -116,6 +135,7 @@ func (m *TrafficMonitor) Observe(p *packet.Packet) {
 func (m *TrafficMonitor) Roll() float64 {
 	bps := m.meter.Roll() * 8
 	m.rateGbps = bps / 1e9
+	m.Rolls++
 	return m.rateGbps
 }
 
@@ -228,6 +248,28 @@ type LBP struct {
 	// Adjustments counts threshold changes; Ticks counts policy runs.
 	Adjustments uint64
 	Ticks       uint64
+
+	// Telemetry watchdog: updates reports the monitor's roll count; a
+	// streak of unchanged readings longer than StaleTicks makes the
+	// policy hold Fwd_Th rather than chase stale signals.
+	updates     func() uint64
+	haveUpdates bool
+	lastUpdates uint64
+	staleStreak int
+	// Holds counts ticks the watchdog suppressed.
+	Holds uint64
+
+	// Capacity-loss failover: on a crash notification Fwd_Th is walked
+	// down to snapTarget within FailoverTicks ticks.
+	aliveFrac  float64
+	snapActive bool
+	snapTarget float64
+	snapTicks  int
+	// FailoverEvents counts capacity-loss snaps started;
+	// LastFailoverTicks is how many ticks the latest one took (-1 when
+	// none has completed).
+	FailoverEvents    uint64
+	LastFailoverTicks int
 }
 
 // NewLBP builds the policy. The director's threshold is seeded from cfg.
@@ -236,7 +278,49 @@ func NewLBP(cfg Config, director *TrafficDirector, queues QueueObserver) (*LBP, 
 		return nil, err
 	}
 	director.SetFwdTh(cfg.InitialFwdThGbps)
-	return &LBP{cfg: cfg, director: director, queues: queues, step: cfg.StepThGbps}, nil
+	return &LBP{
+		cfg: cfg, director: director, queues: queues, step: cfg.StepThGbps,
+		aliveFrac: 1, LastFailoverTicks: -1,
+	}, nil
+}
+
+// BindTelemetry connects the watchdog to a freshness counter (typically
+// the traffic monitor's roll count). Without a binding the watchdog is
+// inert.
+func (l *LBP) BindTelemetry(updates func() uint64) { l.updates = updates }
+
+// OnCapacityChange tells the policy the SNIC processor's execution
+// capacity changed: frac is the fraction of cores still alive. A loss arms
+// the bounded failover snap — Fwd_Th walks down to its capacity-scaled
+// share within FailoverTicks ticks so the diverted excess lands on the
+// host. A recovery cancels any pending snap and lets the normal policy
+// climb back.
+func (l *LBP) OnCapacityChange(frac float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if frac < l.aliveFrac {
+		l.snapTarget = l.director.FwdTh() * frac
+		l.snapActive = true
+		l.snapTicks = 0
+		l.FailoverEvents++
+	} else if frac > l.aliveFrac {
+		l.snapActive = false
+	}
+	l.aliveFrac = frac
+}
+
+// staleLimit is the tick count after which unchanged telemetry means a
+// blackout rather than a coarse monitor window.
+func (l *LBP) staleLimit() int {
+	perWindow := int((l.cfg.MonitorPeriod + l.cfg.LBPPeriod - 1) / l.cfg.LBPPeriod)
+	if perWindow < 1 {
+		perWindow = 1
+	}
+	return l.cfg.StaleTicks * perWindow
 }
 
 // OnSNICBurst accounts bytes returned by the SNIC's rte_eth_rx_burst calls.
@@ -245,13 +329,67 @@ func (l *LBP) OnSNICBurst(bytes int) { l.snicBytes += int64(bytes) }
 // SNICTPGbps returns the last tick's SNIC throughput estimate.
 func (l *LBP) SNICTPGbps() float64 { return l.snicTP }
 
-// Tick runs one iteration of Algorithm 1. Call every LBPPeriod.
+// Tick runs one iteration of Algorithm 1 plus the resilience extensions:
+// the capacity-loss failover snap and the stale-telemetry hold. Call every
+// LBPPeriod.
 func (l *LBP) Tick() {
 	l.Ticks++
 	l.snicTP = gbps(l.snicBytes, l.cfg.LBPPeriod)
 	l.snicBytes = 0
 	if l.cfg.Frozen {
 		return
+	}
+
+	// Capacity-loss failover: walk Fwd_Th down to the surviving
+	// capacity's share in at most FailoverTicks ticks. This runs before
+	// the watchdog hold — the crash notification is direct, not
+	// telemetry, so a simultaneous blackout must not delay failover.
+	if l.snapActive {
+		l.snapTicks++
+		cur := l.director.FwdTh()
+		if cur <= l.snapTarget {
+			l.snapActive = false
+			l.LastFailoverTicks = l.snapTicks
+		} else {
+			th := l.snapTarget
+			if rem := l.cfg.FailoverTicks - l.snapTicks; rem > 0 {
+				th = cur - (cur-l.snapTarget)/float64(rem+1)
+			}
+			if th < 0 {
+				th = 0
+			}
+			if th != cur {
+				l.Adjustments++
+			}
+			l.director.SetFwdTh(th)
+			l.lastDir = -1
+			l.step = l.cfg.StepThGbps
+			if th <= l.snapTarget {
+				l.snapActive = false
+				l.LastFailoverTicks = l.snapTicks
+			}
+			return
+		}
+	}
+
+	// Telemetry watchdog: with no fresh monitor window in StaleTicks
+	// expected window intervals, occupancy and rate readings are stale —
+	// hold the threshold instead of chasing garbage. The limit scales
+	// with MonitorPeriod/LBPPeriod so a monitor window coarser than the
+	// tick does not read as a blackout.
+	if l.updates != nil && l.cfg.StaleTicks > 0 {
+		u := l.updates()
+		if l.haveUpdates && u == l.lastUpdates {
+			l.staleStreak++
+		} else {
+			l.staleStreak = 0
+		}
+		l.haveUpdates = true
+		l.lastUpdates = u
+		if l.staleStreak >= l.staleLimit() {
+			l.Holds++
+			return
+		}
 	}
 
 	fwdTh := l.director.FwdTh()
@@ -354,9 +492,11 @@ func New(cfg Config, queues QueueObserver) (*HAL, error) {
 	if err != nil {
 		return nil, err
 	}
+	mon := NewTrafficMonitor(cfg.MonitorPeriod)
+	lbp.BindTelemetry(func() uint64 { return mon.Rolls })
 	return &HAL{
 		Cfg:      cfg,
-		Monitor:  NewTrafficMonitor(cfg.MonitorPeriod),
+		Monitor:  mon,
 		Director: dir,
 		Merger:   NewTrafficMerger(cfg.SNICAddr, cfg.HostAddr),
 		Policy:   lbp,

@@ -7,6 +7,7 @@ package dpdk
 
 import (
 	"fmt"
+	"math/rand"
 
 	"halsim/internal/packet"
 	"halsim/internal/sim"
@@ -26,9 +27,24 @@ type RxQueue struct {
 	head  int
 	count int
 
-	// Enqueued and Drops count ring-level arrivals and tail drops.
-	Enqueued uint64
-	Drops    uint64
+	// impair, when non-nil, is an injected ring fault shared across the
+	// port's queues: descriptors are corrupted with probability prob and
+	// the packet is lost on arrival.
+	impair *rxImpairment
+
+	// Enqueued and Drops count ring-level arrivals and tail drops;
+	// FaultDrops counts packets lost to an injected ring fault.
+	Enqueued   uint64
+	Drops      uint64
+	FaultDrops uint64
+}
+
+// rxImpairment is a port-wide injected Rx fault: each arriving packet is
+// corrupted (and dropped) with probability prob. The RNG belongs to the
+// fault layer so fault draws never perturb the workload's streams.
+type rxImpairment struct {
+	prob float64
+	rng  *rand.Rand
 }
 
 // NewRxQueue returns an empty ring with the given descriptor count.
@@ -42,6 +58,10 @@ func NewRxQueue(size int) *RxQueue {
 // Enqueue places p at the ring tail, returning false (and counting a drop)
 // when the ring is full.
 func (q *RxQueue) Enqueue(p *packet.Packet) bool {
+	if q.impair != nil && q.impair.prob > 0 && q.impair.rng.Float64() < q.impair.prob {
+		q.FaultDrops++
+		return false
+	}
 	if q.count == len(q.buf) {
 		q.Drops++
 		return false
@@ -150,6 +170,28 @@ func (p *Port) TotalDrops() uint64 {
 		n += q.Drops
 	}
 	return n
+}
+
+// TotalFaultDrops sums injected ring-fault losses over all rings.
+func (p *Port) TotalFaultDrops() uint64 {
+	var n uint64
+	for _, q := range p.queues {
+		n += q.FaultDrops
+	}
+	return n
+}
+
+// SetRxFault imposes a ring-corruption fault on every queue of the port:
+// arrivals are lost with probability prob, drawn from rng. prob <= 0 (or a
+// nil rng) clears the fault.
+func (p *Port) SetRxFault(prob float64, rng *rand.Rand) {
+	var imp *rxImpairment
+	if prob > 0 && rng != nil {
+		imp = &rxImpairment{prob: prob, rng: rng}
+	}
+	for _, q := range p.queues {
+		q.impair = imp
+	}
 }
 
 // TotalEnqueued sums ring arrivals.

@@ -14,6 +14,15 @@ func quick() Options {
 	return Options{Duration: 60 * sim.Millisecond, TraceDuration: 120 * sim.Millisecond, Seed: 1}
 }
 
+// heavy marks a test that runs full simulations; CI's race pass runs with
+// -short and skips these (the plain test pass covers them).
+func heavy(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("simulation-heavy experiment; skipped in -short mode")
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tb := Table{
 		Title:   "demo",
@@ -30,6 +39,7 @@ func TestTableRender(t *testing.T) {
 }
 
 func TestCompareShapes(t *testing.T) {
+	heavy(t)
 	r, err := CompareSNICHost(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -75,6 +85,7 @@ func TestCompareShapes(t *testing.T) {
 }
 
 func TestFig9Shapes(t *testing.T) {
+	heavy(t)
 	rs, err := Fig9(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -115,6 +126,7 @@ func TestFig9Shapes(t *testing.T) {
 }
 
 func TestFig4CrossoverExists(t *testing.T) {
+	heavy(t)
 	rs, err := Fig4(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -129,6 +141,7 @@ func TestFig4CrossoverExists(t *testing.T) {
 }
 
 func TestFig5Shapes(t *testing.T) {
+	heavy(t)
 	r, err := Fig5(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -191,6 +204,7 @@ func TestTable1Render(t *testing.T) {
 }
 
 func TestCostsMeasurement(t *testing.T) {
+	heavy(t)
 	r, err := Costs(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -224,6 +238,7 @@ func TestOptionsDefaults(t *testing.T) {
 }
 
 func TestTable2Shapes(t *testing.T) {
+	heavy(t)
 	r, err := Table2(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -259,6 +274,7 @@ func TestTable2Shapes(t *testing.T) {
 }
 
 func TestTable5Shapes(t *testing.T) {
+	heavy(t)
 	r, err := Table5(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -300,6 +316,7 @@ func TestTable5Shapes(t *testing.T) {
 }
 
 func TestFig10Shapes(t *testing.T) {
+	heavy(t)
 	r, err := Fig10(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -326,6 +343,7 @@ func TestFig10Shapes(t *testing.T) {
 }
 
 func TestAblationLBP(t *testing.T) {
+	heavy(t)
 	r, err := AblationLBP(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -357,6 +375,7 @@ func TestAblationLBP(t *testing.T) {
 }
 
 func TestAblationWatermarks(t *testing.T) {
+	heavy(t)
 	r, err := AblationWatermarks(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -372,6 +391,7 @@ func TestAblationWatermarks(t *testing.T) {
 }
 
 func TestAblationPacketSize(t *testing.T) {
+	heavy(t)
 	r, err := AblationPacketSize(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -394,6 +414,7 @@ func TestAblationPacketSize(t *testing.T) {
 }
 
 func TestAblationMonitorPeriod(t *testing.T) {
+	heavy(t)
 	r, err := AblationMonitorPeriod(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -419,6 +440,7 @@ func TestDVFSEstimate(t *testing.T) {
 }
 
 func TestValidateAllClaims(t *testing.T) {
+	heavy(t)
 	r, err := Validate(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -452,6 +474,7 @@ func TestTableCSV(t *testing.T) {
 }
 
 func TestAblationFunctionMix(t *testing.T) {
+	heavy(t)
 	r, err := AblationFunctionMix(quick())
 	if err != nil {
 		t.Fatal(err)
@@ -464,5 +487,40 @@ func TestAblationFunctionMix(t *testing.T) {
 	if frozenHigh.DropFrac < 0.005 && frozenHigh.P99us < 3*dyn.P99us {
 		t.Errorf("stale frozen threshold should hurt: drops %.3f p99 %.0f vs dyn %.0f",
 			frozenHigh.DropFrac, frozenHigh.P99us, dyn.P99us)
+	}
+}
+
+func TestFaultsShapes(t *testing.T) {
+	heavy(t)
+	r, err := Faults(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(r.Points))
+	}
+	for _, p := range r.Points {
+		name := p.Name + "/" + p.Fn
+		if !p.LedgerOK() {
+			t.Errorf("%s: ledger leak: sent %d, completed %d, dropped %d, in flight %d",
+				name, p.Sent, p.Completed, p.Dropped, p.InFlight)
+		}
+		if p.BeforeGbps <= 0 || p.AfterGbps <= 0 {
+			t.Errorf("%s: zero throughput", name)
+		}
+		// Acceptance: post-fault throughput recovers to ≥95% of pre-fault.
+		if p.AfterGbps < p.BeforeGbps*0.95 {
+			t.Errorf("%s: after %.1f Gbps < 95%% of before %.1f", name, p.AfterGbps, p.BeforeGbps)
+		}
+		// Capacity-loss scenarios must fail over within the LBP bound.
+		if p.CoreCrashes > 0 && p.FailoverTicks >= 0 && p.FailoverTicks > 2 {
+			t.Errorf("%s: failover took %d LBP ticks, bound 2", name, p.FailoverTicks)
+		}
+	}
+	tbl := r.Table().Render()
+	for _, want := range []string{"core-crash", "telemetry blackout", "accel degrade", "exact"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("faults table missing %q", want)
+		}
 	}
 }

@@ -1,0 +1,265 @@
+// Package fault is the deterministic fault-injection layer of the
+// simulator: a Plan is a schedule of timed fault events (core crashes and
+// recoveries, accelerator degradation to software-path rates, Rx-ring drop
+// faults, load-balancer telemetry blackout) that an Injector executes
+// through sim.Engine timers, so a run with the same seed and the same plan
+// is bit-for-bit reproducible — faults included.
+//
+// The package is deliberately mechanism-free: it knows *when* something
+// breaks, not *how*. The server composition registers an apply function
+// that maps each Event onto the concrete component (a station core, a
+// platform profile, a DPDK port, the LBP's telemetry path), which keeps the
+// schedule reusable across operating modes.
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"halsim/internal/sim"
+)
+
+// Kind enumerates the fault events the simulator can inject.
+type Kind int
+
+// Fault kinds. Crash/Recover pairs target one processor core (Event.Core);
+// Degrade/Restore switch a whole station between its accelerated and
+// software-path profiles; RxDrop/RxRestore impose a drop probability on a
+// port's Rx rings; TelemetryBlackout/TelemetryRestore starve the load
+// balancing policy of fresh monitor and queue-occupancy readings.
+const (
+	SNICCoreCrash Kind = iota
+	SNICCoreRecover
+	HostCoreCrash
+	HostCoreRecover
+	SNICAccelDegrade
+	SNICAccelRestore
+	SNICRxDrop
+	SNICRxRestore
+	HostRxDrop
+	HostRxRestore
+	TelemetryBlackout
+	TelemetryRestore
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case SNICCoreCrash:
+		return "snic-core-crash"
+	case SNICCoreRecover:
+		return "snic-core-recover"
+	case HostCoreCrash:
+		return "host-core-crash"
+	case HostCoreRecover:
+		return "host-core-recover"
+	case SNICAccelDegrade:
+		return "snic-accel-degrade"
+	case SNICAccelRestore:
+		return "snic-accel-restore"
+	case SNICRxDrop:
+		return "snic-rx-drop"
+	case SNICRxRestore:
+		return "snic-rx-restore"
+	case HostRxDrop:
+		return "host-rx-drop"
+	case HostRxRestore:
+		return "host-rx-restore"
+	case TelemetryBlackout:
+		return "telemetry-blackout"
+	case TelemetryRestore:
+		return "telemetry-restore"
+	default:
+		return fmt.Sprintf("fault(%d)", int(k))
+	}
+}
+
+// coreKind reports whether k targets a single core.
+func (k Kind) coreKind() bool {
+	switch k {
+	case SNICCoreCrash, SNICCoreRecover, HostCoreCrash, HostCoreRecover:
+		return true
+	}
+	return false
+}
+
+// rxKind reports whether k carries a drop probability.
+func (k Kind) rxKind() bool {
+	return k == SNICRxDrop || k == HostRxDrop
+}
+
+// Event is one timed fault.
+type Event struct {
+	// At is the absolute simulated instant the fault fires.
+	At sim.Time
+	// Kind selects the fault mechanism.
+	Kind Kind
+	// Core is the target core index for the core-crash/recover kinds.
+	Core int
+	// DropProb is the per-packet Rx drop probability for the RxDrop
+	// kinds, in [0, 1].
+	DropProb float64
+}
+
+func (e Event) String() string {
+	switch {
+	case e.Kind.coreKind():
+		return fmt.Sprintf("%v@%v core=%d", e.Kind, e.At, e.Core)
+	case e.Kind.rxKind():
+		return fmt.Sprintf("%v@%v p=%.3f", e.Kind, e.At, e.DropProb)
+	default:
+		return fmt.Sprintf("%v@%v", e.Kind, e.At)
+	}
+}
+
+// Plan is a schedule of fault events plus the seed for any randomized
+// fault mechanism (Rx drop draws). The zero value is an empty plan.
+type Plan struct {
+	Events []Event
+	// Seed drives the fault layer's own RNG streams so fault randomness
+	// never perturbs the workload's streams.
+	Seed int64
+}
+
+// NewPlan returns an empty plan with the given fault seed.
+func NewPlan(seed int64) *Plan { return &Plan{Seed: seed} }
+
+// Add appends an event and returns the plan for chaining.
+func (p *Plan) Add(e Event) *Plan {
+	p.Events = append(p.Events, e)
+	return p
+}
+
+// CrashSNICCore schedules a SNIC core death at t.
+func (p *Plan) CrashSNICCore(t sim.Time, core int) *Plan {
+	return p.Add(Event{At: t, Kind: SNICCoreCrash, Core: core})
+}
+
+// RecoverSNICCore schedules a SNIC core recovery at t.
+func (p *Plan) RecoverSNICCore(t sim.Time, core int) *Plan {
+	return p.Add(Event{At: t, Kind: SNICCoreRecover, Core: core})
+}
+
+// CrashHostCore schedules a host core death at t.
+func (p *Plan) CrashHostCore(t sim.Time, core int) *Plan {
+	return p.Add(Event{At: t, Kind: HostCoreCrash, Core: core})
+}
+
+// RecoverHostCore schedules a host core recovery at t.
+func (p *Plan) RecoverHostCore(t sim.Time, core int) *Plan {
+	return p.Add(Event{At: t, Kind: HostCoreRecover, Core: core})
+}
+
+// DegradeSNICAccel schedules the SNIC accelerator dropping to its
+// software-path profile during [from, to).
+func (p *Plan) DegradeSNICAccel(from, to sim.Time) *Plan {
+	p.Add(Event{At: from, Kind: SNICAccelDegrade})
+	return p.Add(Event{At: to, Kind: SNICAccelRestore})
+}
+
+// DropSNICRx schedules a drop-probability fault on the SNIC Rx rings
+// during [from, to).
+func (p *Plan) DropSNICRx(from, to sim.Time, prob float64) *Plan {
+	p.Add(Event{At: from, Kind: SNICRxDrop, DropProb: prob})
+	return p.Add(Event{At: to, Kind: SNICRxRestore})
+}
+
+// DropHostRx schedules a drop-probability fault on the host Rx rings
+// during [from, to).
+func (p *Plan) DropHostRx(from, to sim.Time, prob float64) *Plan {
+	p.Add(Event{At: from, Kind: HostRxDrop, DropProb: prob})
+	return p.Add(Event{At: to, Kind: HostRxRestore})
+}
+
+// BlackoutTelemetry schedules a monitor/occupancy telemetry dropout during
+// [from, to).
+func (p *Plan) BlackoutTelemetry(from, to sim.Time) *Plan {
+	p.Add(Event{At: from, Kind: TelemetryBlackout})
+	return p.Add(Event{At: to, Kind: TelemetryRestore})
+}
+
+// CrashSNICCores schedules n cores (indices 0..n-1) crashing at from and
+// recovering at to — the standard capacity-loss scenario.
+func (p *Plan) CrashSNICCores(from, to sim.Time, n int) *Plan {
+	for c := 0; c < n; c++ {
+		p.CrashSNICCore(from, c)
+		p.RecoverSNICCore(to, c)
+	}
+	return p
+}
+
+// Validate checks the plan is executable: non-negative times, known kinds,
+// sane cores and probabilities.
+func (p *Plan) Validate() error {
+	for i, e := range p.Events {
+		if e.At < 0 {
+			return fmt.Errorf("fault: event %d (%v) at negative time", i, e.Kind)
+		}
+		if e.Kind < 0 || e.Kind >= numKinds {
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(e.Kind))
+		}
+		if e.Kind.coreKind() && e.Core < 0 {
+			return fmt.Errorf("fault: event %d (%v) has negative core %d", i, e.Kind, e.Core)
+		}
+		if e.Kind.rxKind() && (e.DropProb < 0 || e.DropProb > 1) {
+			return fmt.Errorf("fault: event %d (%v) has drop probability %g outside [0,1]",
+				i, e.Kind, e.DropProb)
+		}
+	}
+	return nil
+}
+
+// Sorted returns the events ordered by time, ties broken by insertion
+// order — exactly the order the injector fires them in.
+func (p *Plan) Sorted() []Event {
+	out := append([]Event(nil), p.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Len returns the event count.
+func (p *Plan) Len() int { return len(p.Events) }
+
+// Injector binds a plan to an engine and an apply function. Arm schedules
+// every event; events fire in (time, insertion) order through the engine's
+// deterministic FIFO tie-break, so two runs with the same plan inject
+// identically.
+type Injector struct {
+	eng   *sim.Engine
+	plan  *Plan
+	apply func(Event)
+
+	// Injected counts events fired so far; Log records them in firing
+	// order for post-run inspection.
+	Injected uint64
+	Log      []Event
+}
+
+// NewInjector validates the plan and builds an injector that calls apply
+// for each event when it fires.
+func NewInjector(eng *sim.Engine, plan *Plan, apply func(Event)) (*Injector, error) {
+	if eng == nil || apply == nil {
+		return nil, fmt.Errorf("fault: injector needs an engine and an apply function")
+	}
+	if plan == nil {
+		plan = &Plan{}
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{eng: eng, plan: plan, apply: apply}, nil
+}
+
+// Arm schedules every plan event on the engine. Call once, before the run
+// starts (events earlier than the engine's current time are an error by
+// the engine's own monotonicity check).
+func (i *Injector) Arm() {
+	for _, e := range i.plan.Sorted() {
+		e := e
+		i.eng.At(e.At, func() {
+			i.Injected++
+			i.Log = append(i.Log, e)
+			i.apply(e)
+		})
+	}
+}

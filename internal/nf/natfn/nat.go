@@ -22,6 +22,11 @@ const reqLen = 12
 // ErrBadRequest reports a payload shorter than a NAT tuple.
 var ErrBadRequest = errors.New("natfn: request shorter than 12 bytes")
 
+// ErrPortsExhausted reports that no external port was free for a new
+// translation. A real NAT drops the packet rather than crashing the
+// dataplane; the function does the same and counts it in Dropped.
+var ErrPortsExhausted = errors.New("natfn: port space exhausted")
+
 type flowKey struct {
 	ip   uint32
 	port uint16
@@ -47,6 +52,9 @@ type Table struct {
 
 	// Counters for tests and reporting.
 	Hits, Misses, Evictions uint64
+	// dropped counts translations refused because the port space was
+	// exhausted — the graceful-degradation path of a full NAT.
+	dropped uint64
 }
 
 // NewTable returns a table translating to extIP with the given capacity.
@@ -89,8 +97,10 @@ func (t *Table) evictOldest() {
 	t.Evictions++
 }
 
-// allocPort finds a free external port, skipping ones still mapped.
-func (t *Table) allocPort() uint16 {
+// allocPort finds a free external port, skipping ones still mapped. ok is
+// false when every usable port is taken — the caller drops the packet
+// instead of crashing the dataplane.
+func (t *Table) allocPort() (p uint16, ok bool) {
 	for i := 0; i < 65536; i++ {
 		p := t.nextPort
 		t.nextPort++
@@ -101,27 +111,32 @@ func (t *Table) allocPort() uint16 {
 			continue
 		}
 		if _, used := t.byExt[p]; !used {
-			return p
+			return p, true
 		}
 	}
-	// Capacity < 64512 guarantees a free port above; defensive only.
-	panic("natfn: port space exhausted")
+	return 0, false
 }
 
 // Translate maps an internal (ip, port) flow to its external port,
-// allocating (and evicting, if full) as needed.
-func (t *Table) Translate(ip uint32, port uint16) (extIP uint32, extPort uint16) {
+// allocating (and evicting, if full) as needed. ok is false when the port
+// space was exhausted; the packet should be dropped (counted in Dropped).
+func (t *Table) Translate(ip uint32, port uint16) (extIP uint32, extPort uint16, ok bool) {
 	k := flowKey{ip, port}
 	if e, ok := t.entries[k]; ok {
 		t.Hits++
 		t.touch(e)
-		return t.extIP, e.extPort
+		return t.extIP, e.extPort, true
 	}
 	t.Misses++
 	if len(t.entries) >= t.capacity {
 		t.evictOldest()
 	}
-	e := &entry{key: k, extPort: t.allocPort()}
+	p, ok := t.allocPort()
+	if !ok {
+		t.dropped++
+		return 0, 0, false
+	}
+	e := &entry{key: k, extPort: p}
 	t.entries[k] = e
 	t.byExt[e.extPort] = e
 	// link at head
@@ -129,8 +144,12 @@ func (t *Table) Translate(ip uint32, port uint16) (extIP uint32, extPort uint16)
 	e.prev = &t.head
 	t.head.next.prev = e
 	t.head.next = e
-	return t.extIP, e.extPort
+	return t.extIP, e.extPort, true
 }
+
+// Dropped returns how many translations were refused for lack of a free
+// external port.
+func (t *Table) Dropped() uint64 { return t.dropped }
 
 // Reverse resolves an external port back to the internal flow, as the
 // return path would.
@@ -169,7 +188,10 @@ func (f *Func) Process(req []byte) ([]byte, error) {
 	}
 	srcIP := binary.BigEndian.Uint32(req[0:4])
 	srcPort := binary.BigEndian.Uint16(req[4:6])
-	extIP, extPort := f.table.Translate(srcIP, srcPort)
+	extIP, extPort, ok := f.table.Translate(srcIP, srcPort)
+	if !ok {
+		return nil, ErrPortsExhausted
+	}
 	resp := make([]byte, reqLen)
 	binary.BigEndian.PutUint32(resp[0:4], extIP)
 	binary.BigEndian.PutUint16(resp[4:6], extPort)

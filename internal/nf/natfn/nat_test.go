@@ -54,7 +54,7 @@ func TestDistinctFlowsDistinctPorts(t *testing.T) {
 
 func TestReverseMapping(t *testing.T) {
 	tb := NewTable(0x0A000001, 8)
-	_, ext := tb.Translate(42, 4242)
+	_, ext, _ := tb.Translate(42, 4242)
 	ip, port, ok := tb.Reverse(ext)
 	if !ok || ip != 42 || port != 4242 {
 		t.Fatalf("reverse(%d) = %d,%d,%v", ext, ip, port, ok)
@@ -96,7 +96,7 @@ func TestBijectionProperty(t *testing.T) {
 	tb := NewTable(1, 512)
 	f := func(ips []uint32) bool {
 		for _, ip := range ips {
-			_, ext := tb.Translate(ip, uint16(ip))
+			_, ext, _ := tb.Translate(ip, uint16(ip))
 			rip, rport, ok := tb.Reverse(ext)
 			if !ok || rip != ip || rport != uint16(ip) {
 				return false
@@ -162,7 +162,7 @@ func TestPortAllocatorSkipsInUse(t *testing.T) {
 	tb := NewTable(1, 64000)
 	ports := map[uint16]int{}
 	for i := uint32(0); i < 5000; i++ {
-		_, p := tb.Translate(i, 9)
+		_, p, _ := tb.Translate(i, 9)
 		ports[p]++
 		if ports[p] > 1 {
 			t.Fatalf("port %d allocated twice among live flows", p)
@@ -170,6 +170,32 @@ func TestPortAllocatorSkipsInUse(t *testing.T) {
 		if p < 1024 {
 			t.Fatalf("allocated reserved port %d", p)
 		}
+	}
+}
+
+func TestPortExhaustionDropsGracefully(t *testing.T) {
+	// A capacity above the usable port count (1024..65535 = 64512) lets
+	// the table run the allocator dry without evicting. The translation
+	// must refuse gracefully — drop counted, no panic.
+	tb := NewTable(1, 70000)
+	for i := uint32(0); i < 64512; i++ {
+		if _, _, ok := tb.Translate(i, 1); !ok {
+			t.Fatalf("unexpected exhaustion after %d flows", i)
+		}
+	}
+	if _, _, ok := tb.Translate(1<<20, 1); ok {
+		t.Fatal("translation past port exhaustion should refuse")
+	}
+	if tb.Dropped() != 1 {
+		t.Fatalf("dropped = %d, want 1", tb.Dropped())
+	}
+	// The function surfaces the drop as an error, not a crash.
+	f := &Func{table: tb}
+	if _, err := f.Process(req(1<<21, 7)); err != ErrPortsExhausted {
+		t.Fatalf("err = %v, want ErrPortsExhausted", err)
+	}
+	if tb.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tb.Dropped())
 	}
 }
 

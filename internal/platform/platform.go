@@ -162,7 +162,12 @@ type Platform struct {
 	Name     string
 	LineGbps float64
 	Profiles map[nf.ID]FnProfile
-	Power    PowerModel
+	// Fallbacks are the software-path profiles used when a function's
+	// accelerator is faulted offline and processing falls back to the
+	// platform's cores. Functions absent from the map degrade via
+	// DeriveFallback.
+	Fallbacks map[nf.ID]FnProfile
+	Power     PowerModel
 }
 
 // Profile returns the profile for fn, failing loudly on gaps so calibration
@@ -179,6 +184,38 @@ func (pl *Platform) Profile(fn nf.ID) FnProfile {
 func (pl *Platform) Supports(fn nf.ID) bool {
 	_, ok := pl.Profiles[fn]
 	return ok
+}
+
+// SoftwareFallback returns the profile the platform degrades to when fn's
+// accelerator is faulted offline: the calibrated software path when one is
+// on file, a derived one otherwise. CPU-unit profiles are their own
+// fallback (a core fault is modeled as capacity loss, not a rate change).
+func (pl *Platform) SoftwareFallback(fn nf.ID) FnProfile {
+	base := pl.Profile(fn)
+	if base.Unit == CPU {
+		return base
+	}
+	if fb, ok := pl.Fallbacks[fn]; ok {
+		fb.Servers = base.Servers // station core count is fixed at build time
+		return fb
+	}
+	return DeriveFallback(base)
+}
+
+// DeriveFallback synthesizes a software-path profile for an accelerated
+// one: the cores take over at roughly a tenth of the accelerator's rate
+// with heavier per-packet overhead and jitter — the shape §III-A reports
+// for software REM/crypto against their engines.
+func DeriveFallback(accel FnProfile) FnProfile {
+	fb := accel
+	fb.Unit = CPU
+	fb.MaxGbps = accel.MaxGbps / 10
+	fb.OverheadNS = accel.OverheadNS * 8
+	fb.JitterMeanNS = accel.JitterMeanNS * 8
+	// The DMA/doorbell pipeline stage disappears; core-local processing
+	// keeps a short fixed pipeline.
+	fb.PipelineNS = accel.PipelineNS / 3
+	return fb
 }
 
 const (
@@ -216,6 +253,14 @@ func BlueField2() *Platform {
 			nf.Crypto: {Unit: Accelerator, Servers: 8, MaxGbps: 45, OverheadNS: 500 * ns, PipelineNS: 3 * us, JitterMeanNS: 800 * ns},
 			nf.Comp:   {Unit: Accelerator, Servers: 8, MaxGbps: 50, OverheadNS: 400 * ns, PipelineNS: 3 * us, JitterMeanNS: 600 * ns},
 		},
+		// Software paths on the A72 cores when an accelerator is faulted
+		// offline, scaled from the BF-3 software-only anchors (§III-A's
+		// RXP-vs-CPU gap, halved for BF-2's core count).
+		Fallbacks: map[nf.ID]FnProfile{
+			nf.REM:    {Unit: CPU, Servers: 8, MaxGbps: 2.2, OverheadNS: 6 * us, PipelineNS: 2 * us, JitterMeanNS: 18 * us},
+			nf.Crypto: {Unit: CPU, Servers: 8, MaxGbps: 0.8, OverheadNS: 35 * us, PipelineNS: 2 * us, JitterMeanNS: 35 * us},
+			nf.Comp:   {Unit: CPU, Servers: 8, MaxGbps: 3, OverheadNS: 5 * us, PipelineNS: 2 * us, JitterMeanNS: 14 * us},
+		},
 		Power: snicSidePower(),
 	}
 }
@@ -249,6 +294,12 @@ func HostXeon() *Platform {
 			// SNIC PKA; Deflate behind the SNIC engine (Skylake-era QAT).
 			nf.Crypto: {Unit: Accelerator, Servers: 8, MaxGbps: 90, OverheadNS: 150 * ns, PipelineNS: 2500 * ns, JitterMeanNS: 300 * ns},
 			nf.Comp:   {Unit: Accelerator, Servers: 8, MaxGbps: 32, OverheadNS: 500 * ns, PipelineNS: 2500 * ns, JitterMeanNS: 1 * us},
+		},
+		// Software paths on the Xeon cores when QAT is faulted offline
+		// (ISA-extension rates, scaled down from the SPR anchors).
+		Fallbacks: map[nf.ID]FnProfile{
+			nf.Crypto: {Unit: CPU, Servers: 8, MaxGbps: 4, OverheadNS: 5 * us, PipelineNS: 2 * us, JitterMeanNS: 10 * us},
+			nf.Comp:   {Unit: CPU, Servers: 8, MaxGbps: 7, OverheadNS: 3 * us, PipelineNS: 2 * us, JitterMeanNS: 6 * us},
 		},
 		Power: hostSidePower(),
 	}

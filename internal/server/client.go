@@ -48,14 +48,19 @@ type client struct {
 	seq       uint64
 	sentPkts  uint64
 	sentBytes uint64
-	stopped   bool
+	// totalPkts/totalBytes count every packet ever offered (warmup
+	// included) — the packet-conservation audit's "offered" side.
+	totalPkts  uint64
+	totalBytes uint64
+	stopped    bool
+	ticker     *sim.Ticker
 }
 
 // start arms the arrival process (and the trace epoch timer, if tracing).
 func (c *client) start() {
 	if c.tracegen != nil {
 		c.rateGbps = c.tracegen.NextRateGbps()
-		c.eng.Every(c.epoch, func() {
+		c.ticker = c.eng.Every(c.epoch, func() {
 			if !c.stopped {
 				c.rateGbps = c.tracegen.NextRateGbps()
 			}
@@ -64,7 +69,14 @@ func (c *client) start() {
 	c.scheduleNext()
 }
 
-func (c *client) stop() { c.stopped = true }
+// stop halts the arrival process and its epoch timer, so a drained run's
+// event queue can empty.
+func (c *client) stop() {
+	c.stopped = true
+	if c.ticker != nil {
+		c.ticker.Cancel()
+	}
+}
 
 // scheduleNext draws the next interarrival. Arrivals are Poisson within an
 // epoch: exponential gaps with mean wireBits/rate, which produces the
@@ -127,6 +139,8 @@ func (c *client) send(size int) {
 	}
 	p.FnTag = tag
 	p.CreatedAt = int64(c.eng.Now())
+	c.totalPkts++
+	c.totalBytes += uint64(p.WireLen)
 	if c.eng.Now() >= c.warmupEnd {
 		c.sentPkts++
 		c.sentBytes += uint64(p.WireLen)

@@ -20,6 +20,7 @@ import (
 	"halsim/internal/dpdk"
 	"halsim/internal/energy"
 	"halsim/internal/eswitch"
+	"halsim/internal/fault"
 	"halsim/internal/nf"
 	"halsim/internal/packet"
 	"halsim/internal/platform"
@@ -131,6 +132,12 @@ type Config struct {
 	// (slower; used by correctness-under-load tests and examples).
 	Functional bool
 
+	// Faults optionally injects a deterministic schedule of fault events
+	// — core crashes/recoveries, accelerator degradation to the
+	// software-path profile, Rx-ring drop faults, telemetry blackout —
+	// into the run. Same seed + same plan ⇒ identical results.
+	Faults *fault.Plan
+
 	RingSize int
 	Seed     int64
 }
@@ -149,6 +156,21 @@ type RunConfig struct {
 	// Warmup is excluded from statistics (default Duration/5, capped at
 	// 100 ms).
 	Warmup sim.Time
+
+	// PhaseMarks optionally split the run into measurement windows at
+	// the given ascending instants; Result.Phases then reports
+	// per-window throughput, p99, and power (fault experiments mark the
+	// fault window's edges). Packets attribute to the phase they were
+	// created in.
+	PhaseMarks []sim.Time
+	// RateWindow, when non-zero, records a delivered-rate time series at
+	// that resolution in Result.RateSeries — the recovery-time signal.
+	RateWindow sim.Time
+	// Drain keeps the simulation running past Duration with the client
+	// stopped until every queued and in-flight packet completes or
+	// drops, which makes the packet-conservation audit exact:
+	// SentAll == CompletedAll + DroppedAll and InFlightEnd == 0.
+	Drain bool
 }
 
 // Result carries the paper's metrics for one run.
@@ -182,6 +204,28 @@ type Result struct {
 	// FuncErrors counts functional-mode processing failures (always 0
 	// unless Config.Functional is set and a stage rejected a request).
 	FuncErrors uint64
+
+	// Robustness accounting (all-time, warmup included, so packet
+	// conservation holds exactly): every offered packet is completed,
+	// dropped, or still in flight when the run ends.
+	SentAll      uint64
+	CompletedAll uint64
+	DroppedAll   uint64
+	InFlightEnd  int64 // SentAll - CompletedAll - DroppedAll; 0 after a drained run
+	// Fault-layer observables.
+	FaultEvents uint64 // injected plan events
+	FaultDrops  uint64 // packets lost to ring faults or dead stations
+	Requeued    uint64 // packets re-homed off crashed cores
+	CoreCrashes uint64
+	LBPHolds    uint64 // LBP ticks the telemetry watchdog suppressed
+	// FailoverTicks is how many LBP ticks the last capacity-loss
+	// failover snap took (-1 when none completed).
+	FailoverTicks int
+	// Phases and RateSeries are populated per RunConfig.PhaseMarks /
+	// RunConfig.RateWindow.
+	Phases     []PhaseStats
+	RateSeries []float64
+	RateWindow sim.Time
 }
 
 type sideStations struct {
@@ -264,12 +308,35 @@ func Run(cfg Config, rc RunConfig) (Result, error) {
 			cfg.Fn, cfg.Fabric.Kind)
 	}
 
+	for i, m := range rc.PhaseMarks {
+		if m <= 0 || m >= rc.Duration {
+			return Result{}, fmt.Errorf("server: phase mark %v outside (0, %v)", m, rc.Duration)
+		}
+		if i > 0 && m <= rc.PhaseMarks[i-1] {
+			return Result{}, fmt.Errorf("server: phase marks must be ascending")
+		}
+	}
+	if rc.RateWindow < 0 {
+		return Result{}, fmt.Errorf("server: negative rate window")
+	}
+
 	r := &run{cfg: cfg, rc: rc, eng: sim.NewEngine()}
 	if err := r.build(); err != nil {
 		return Result{}, err
 	}
 	r.start()
 	r.eng.RunUntil(rc.Duration)
+	if rc.Drain {
+		// Stop offering traffic and cancel every periodic process, then
+		// let the event queue empty: whatever is still queued or
+		// mid-service completes (or tail-drops), so the conservation
+		// audit closes exactly.
+		r.cli.stop()
+		for _, t := range r.tickers {
+			t.Cancel()
+		}
+		r.eng.Run()
+	}
 	return r.collect(), nil
 }
 
@@ -297,6 +364,11 @@ type run struct {
 
 	cli *client
 
+	// fault machinery
+	inj           *fault.Injector
+	faultRng      *rand.Rand
+	telemetryDown bool
+
 	// measurement
 	lat          *stats.Histogram
 	powerHost    energy.Integrator
@@ -308,6 +380,11 @@ type run struct {
 	power        energy.Integrator
 	funcErrs     uint64
 	warmupEnd    sim.Time
+	completedAll uint64
+	phases       []phaseAcc
+	rateSeries   []float64
+	rateWinB     int64
+	tickers      []*sim.Ticker
 }
 
 func (r *run) profile(pl *platform.Platform, override *platform.FnProfile, fn nf.ID) platform.FnProfile {
@@ -442,9 +519,18 @@ func (r *run) build() error {
 			obs.b = r.snic.second.port
 		}
 		var err error
-		r.hal, err = core.New(hc, obs)
+		// The occupancy path runs through a freezer so a telemetry
+		// blackout replays stale readings (what a wedged monitor core
+		// would report) instead of live ones.
+		r.hal, err = core.New(hc, &frozenObserver{inner: obs, down: &r.telemetryDown})
 		if err != nil {
 			return err
+		}
+		// Capacity signal: SNIC core crashes/recoveries reach the LBP
+		// watchdog directly (the LBP core observes its sibling cores'
+		// heartbeats), arming the bounded Fwd_Th failover.
+		r.snic.first.onCapacity = func(alive, total int) {
+			r.hal.Policy.OnCapacityChange(float64(alive) / float64(total))
 		}
 	}
 
@@ -508,6 +594,17 @@ func (r *run) build() error {
 	r.lat = stats.NewHistogram()
 	r.warmupEnd = r.rc.Warmup
 
+	// Phase accumulators: boundaries are [0, marks..., Duration].
+	if len(r.rc.PhaseMarks) > 0 {
+		bounds := append([]sim.Time{0}, r.rc.PhaseMarks...)
+		bounds = append(bounds, r.rc.Duration)
+		for i := 0; i+1 < len(bounds); i++ {
+			r.phases = append(r.phases, phaseAcc{
+				start: bounds[i], end: bounds[i+1], hist: stats.NewHistogram(),
+			})
+		}
+	}
+
 	// Client.
 	r.cli = &client{
 		eng:           r.eng,
@@ -526,9 +623,13 @@ func (r *run) build() error {
 		epoch:         r.rc.Epoch,
 	}
 	if r.rc.Workload != nil {
-		r.cli.tracegen = trace.NewWorkloadGenerator(*r.rc.Workload, cfg.Seed+17)
+		g, err := trace.New(*r.rc.Workload, cfg.Seed+17)
+		if err != nil {
+			return err
+		}
+		r.cli.tracegen = g
 	}
-	return nil
+	return r.buildFaults()
 }
 
 // ingress is the wire→server path.
@@ -588,6 +689,12 @@ func (r *run) complete(p *packet.Packet, onSNIC bool) {
 			}
 		}
 	}
+	r.completedAll++
+	r.rateWinB += int64(p.WireLen)
+	if ph := r.phaseAt(sim.Time(p.CreatedAt)); ph != nil {
+		ph.bytes += uint64(p.WireLen)
+		ph.completed++
+	}
 	if sim.Time(p.CreatedAt) >= r.warmupEnd {
 		r.deliveredB += uint64(p.WireLen)
 		r.winB += int64(p.WireLen)
@@ -620,18 +727,34 @@ func (r *run) complete(p *packet.Packet, onSNIC bool) {
 // deliverResponse records the client-observed round trip for packets
 // created inside the measurement window.
 func (r *run) deliverResponse(p *packet.Packet) {
+	if ph := r.phaseAt(sim.Time(p.CreatedAt)); ph != nil {
+		ph.hist.Record(int64(r.eng.Now()) - p.CreatedAt)
+	}
 	if sim.Time(p.CreatedAt) < r.warmupEnd {
 		return
 	}
 	r.lat.Record(int64(r.eng.Now()) - p.CreatedAt)
 }
 
+// every wraps Engine.Every so a drained run can cancel every periodic
+// process once the client stops.
+func (r *run) every(period sim.Time, fn func()) {
+	r.tickers = append(r.tickers, r.eng.Every(period, fn))
+}
+
 func (r *run) start() {
 	cfg := r.cfg
 	// Periodic processes.
 	if cfg.Mode == HAL {
-		r.eng.Every(r.hal.Cfg.MonitorPeriod, r.hal.RollMonitor)
-		r.eng.Every(r.hal.Cfg.LBPPeriod, r.hal.Policy.Tick)
+		// During a telemetry blackout the monitor core is wedged: rate
+		// windows do not roll (the LBP's stale-telemetry watchdog sees the
+		// roll counter stop) and the occupancy freezer replays old readings.
+		r.every(r.hal.Cfg.MonitorPeriod, func() {
+			if !r.telemetryDown {
+				r.hal.RollMonitor()
+			}
+		})
+		r.every(r.hal.Cfg.LBPPeriod, r.hal.Policy.Tick)
 		// SNIC_TP accounting: completions on the SNIC side.
 		prev := r.snic.first.onServed
 		r.snic.first.onServed = func(p *packet.Packet) {
@@ -640,13 +763,13 @@ func (r *run) start() {
 		}
 	}
 	if cfg.Mode == SLB || cfg.Mode == SLBHost {
-		r.eng.Every(10*sim.Microsecond, func() {
+		r.every(10*sim.Microsecond, func() {
 			r.slbDir.SetRate(r.slbMon.Roll())
 		})
 	}
 	// Power sampling (§VI: periodic wall-power sampling).
 	const powerPeriod = 100 * sim.Microsecond
-	r.eng.Every(powerPeriod, func() {
+	r.every(powerPeriod, func() {
 		snicBytes := r.snic.first.takeWindowBytes()
 		if r.snic.second != nil {
 			// stage 2 re-serves the same bytes; count stage 1 only
@@ -685,7 +808,19 @@ func (r *run) start() {
 		r.power.Sample(r.eng.Now(), idleW+hostW+snicW)
 		r.powerHost.Sample(r.eng.Now(), hostW)
 		r.powerSNIC.Sample(r.eng.Now(), snicW)
+		if ph := r.phaseAt(r.eng.Now()); ph != nil {
+			ph.powerWSum += idleW + hostW + snicW
+			ph.powerN++
+		}
 	})
+	// Delivered-rate time series (recovery analysis for fault runs).
+	if r.rc.RateWindow > 0 {
+		r.every(r.rc.RateWindow, func() {
+			r.rateSeries = append(r.rateSeries,
+				float64(r.rateWinB)*8/float64(r.rc.RateWindow))
+			r.rateWinB = 0
+		})
+	}
 	// Delivered-rate windows for MaxGbps. Constant-rate runs use 10 ms;
 	// trace runs use the epoch so a one-epoch burst registers at its
 	// actual rate instead of being averaged away — this is what makes
@@ -694,7 +829,7 @@ func (r *run) start() {
 	if r.rc.Workload != nil {
 		window = r.rc.Epoch
 	}
-	r.eng.Every(window, func() {
+	r.every(window, func() {
 		if r.eng.Now() <= r.warmupEnd {
 			r.winB = 0
 			return
@@ -734,18 +869,15 @@ func (r *run) collect() Result {
 	res.SNICActiveW = r.powerSNIC.AvgWatts()
 	res.IdleW = res.AvgPowerW - res.HostActiveW - res.SNICActiveW
 	res.EffGbpsPerW = energy.EfficiencyGbpsPerWatt(res.AvgGbps, res.AvgPowerW)
-	drops := r.snic.first.port.TotalDrops() + r.host.first.port.TotalDrops()
-	if r.snic.second != nil {
-		drops += r.snic.second.port.TotalDrops()
-	}
-	if r.host.second != nil {
-		drops += r.host.second.port.TotalDrops()
-	}
-	if r.slbFwd != nil {
-		drops += r.slbFwd.port.TotalDrops()
+	var drops, faultDrops, requeued, crashes uint64
+	for _, s := range r.stations() {
+		drops += s.port.TotalDrops()
+		faultDrops += s.port.TotalFaultDrops() + s.faultDrops
+		requeued += s.requeued
+		crashes += s.crashes
 	}
 	if r.cli.sentPkts > 0 {
-		res.DropFraction = float64(drops) / float64(r.cli.sentPkts)
+		res.DropFraction = float64(drops+faultDrops) / float64(r.cli.sentPkts)
 	}
 	if total := r.snicB + r.hostB; total > 0 {
 		res.SNICShare = float64(r.snicB) / float64(total)
@@ -764,5 +896,57 @@ func (r *run) collect() Result {
 		st := r.cfg.Fabric.Directory().TotalStats()
 		res.CoherenceRemote = st.RemoteFetches + st.Invalidations
 	}
+
+	// Packet-conservation ledger (all-time, warmup included): every offered
+	// packet either completed, dropped, or is still queued/in service. A
+	// drained run closes the ledger exactly (InFlightEnd == 0).
+	res.SentAll = r.cli.totalPkts
+	res.CompletedAll = r.completedAll
+	res.DroppedAll = drops + faultDrops
+	res.InFlightEnd = int64(res.SentAll) - int64(res.CompletedAll) - int64(res.DroppedAll)
+	res.FaultDrops = faultDrops
+	res.Requeued = requeued
+	res.CoreCrashes = crashes
+	if r.inj != nil {
+		res.FaultEvents = r.inj.Injected
+	}
+	res.FailoverTicks = -1
+	if r.hal != nil {
+		res.LBPHolds = r.hal.Policy.Holds
+		res.FailoverTicks = r.hal.Policy.LastFailoverTicks
+	}
+	for _, ph := range r.phases {
+		ps := PhaseStats{
+			Start:     ph.start,
+			End:       ph.end,
+			P99us:     float64(ph.hist.P99()) / 1000,
+			Completed: ph.completed,
+		}
+		if d := ph.end - ph.start; d > 0 {
+			ps.AvgGbps = float64(ph.bytes) * 8 / float64(d)
+		}
+		if ph.powerN > 0 {
+			ps.AvgPowerW = ph.powerWSum / float64(ph.powerN)
+		}
+		ps.EffGbpsPerW = energy.EfficiencyGbpsPerWatt(ps.AvgGbps, ps.AvgPowerW)
+		res.Phases = append(res.Phases, ps)
+	}
+	res.RateSeries = r.rateSeries
+	res.RateWindow = r.rc.RateWindow
 	return res
+}
+
+// stations returns every wired station of the run.
+func (r *run) stations() []*station {
+	out := []*station{r.snic.first, r.host.first}
+	if r.snic.second != nil {
+		out = append(out, r.snic.second)
+	}
+	if r.host.second != nil {
+		out = append(out, r.host.second)
+	}
+	if r.slbFwd != nil {
+		out = append(out, r.slbFwd)
+	}
+	return out
 }

@@ -24,6 +24,18 @@ type station struct {
 	rng     *rand.Rand
 
 	busy []bool
+	// Fault state: dead marks crashed cores, gen is a per-core incarnation
+	// counter that invalidates the in-flight completion of a crashed core,
+	// and inflight/inflightDone track the packet being served (and when it
+	// would have finished) so a crash can requeue it and unwind busyTime.
+	dead         []bool
+	gen          []uint64
+	inflight     []*packet.Packet
+	inflightDone []sim.Time
+
+	// onCapacity, when non-nil, fires after a crash or recovery with the
+	// alive and total core counts (the LBP watchdog's capacity signal).
+	onCapacity func(alive, total int)
 
 	// sleep, when non-nil, applies the DPDK power-management model: the
 	// whole station sleeps when idle and the waking packet pays the
@@ -42,6 +54,13 @@ type station struct {
 	pktsDone  uint64
 	bytesDone uint64
 	busyTime  sim.Time
+	// Fault accounting: crashes counts core deaths, requeued counts
+	// packets re-homed off a crashed core (in-flight victim plus drained
+	// ring backlog), faultDrops counts packets lost because no core was
+	// alive to take them.
+	crashes    uint64
+	requeued   uint64
+	faultDrops uint64
 	// window accumulators for power sampling: bytes served since the
 	// last power sample.
 	windowBytes int64
@@ -49,18 +68,24 @@ type station struct {
 
 func newStation(eng *sim.Engine, name string, prof platform.FnProfile, ringSize int, seed int64) *station {
 	return &station{
-		eng:  eng,
-		name: name,
-		prof: prof,
-		port: dpdk.NewPort(prof.Servers, ringSize),
-		rng:  rand.New(rand.NewSource(seed)),
-		busy: make([]bool, prof.Servers),
+		eng:          eng,
+		name:         name,
+		prof:         prof,
+		port:         dpdk.NewPort(prof.Servers, ringSize),
+		rng:          rand.New(rand.NewSource(seed)),
+		busy:         make([]bool, prof.Servers),
+		dead:         make([]bool, prof.Servers),
+		gen:          make([]uint64, prof.Servers),
+		inflight:     make([]*packet.Packet, prof.Servers),
+		inflightDone: make([]sim.Time, prof.Servers),
 	}
 }
 
 // enqueue delivers p to the station's RSS queue, returning false on a tail
 // drop. If the owning core is idle it starts serving, paying the wake-up
-// penalty first when the station was asleep.
+// penalty first when the station was asleep. Crashed cores are steered
+// around (the driver re-programs the RSS indirection table on core
+// failure); a station with no core alive drops the packet.
 func (s *station) enqueue(p *packet.Packet) bool {
 	var penalty sim.Time
 	if s.sleep != nil {
@@ -68,19 +93,52 @@ func (s *station) enqueue(p *packet.Packet) bool {
 	}
 	h := uint64(p.SrcPort)<<16 ^ p.ID
 	core := int(h % uint64(s.port.NumQueues()))
+	if s.dead[core] {
+		alive := s.nextAlive(core)
+		if alive < 0 {
+			s.faultDrops++
+			return false
+		}
+		core = alive
+	}
+	return s.enqueueCore(p, core, penalty)
+}
+
+// enqueueCore places p on core's ring, starting the core if it was idle.
+func (s *station) enqueueCore(p *packet.Packet, core int, penalty sim.Time) bool {
 	if !s.port.Queue(core).Enqueue(p) {
 		return false
 	}
-	if !s.busy[core] {
+	if !s.busy[core] && !s.dead[core] {
 		s.busy[core] = true
 		s.eng.Schedule(penalty, func() { s.serve(core) })
 	}
 	return true
 }
 
+// nextAlive returns the first alive core at or after from (wrapping), or
+// -1 when every core is dead. Deterministic, so remapping is reproducible.
+func (s *station) nextAlive(from int) int {
+	n := len(s.busy)
+	for i := 0; i < n; i++ {
+		c := (from + i) % n
+		if !s.dead[c] {
+			return c
+		}
+	}
+	return -1
+}
+
 // serve runs one core's poll loop: take the ring head, hold the core for
-// the service time, deliver, repeat until the ring drains.
+// the service time, deliver, repeat until the ring drains. A crash between
+// service start and completion bumps the core's generation, which voids
+// the pending completion (the packet was re-homed or dropped at crash
+// time).
 func (s *station) serve(core int) {
+	if s.dead[core] {
+		s.busy[core] = false
+		return
+	}
 	p := s.port.Queue(core).Pop()
 	if p == nil {
 		s.busy[core] = false
@@ -98,7 +156,14 @@ func (s *station) serve(core int) {
 		st += s.extra(p)
 	}
 	s.busyTime += st
+	s.inflight[core] = p
+	s.inflightDone[core] = s.eng.Now() + st
+	g := s.gen[core]
 	s.eng.Schedule(st, func() {
+		if s.gen[core] != g {
+			return // core crashed mid-service; packet already re-homed
+		}
+		s.inflight[core] = nil
 		s.pktsDone++
 		s.bytesDone += uint64(p.WireLen)
 		s.windowBytes += int64(p.WireLen)
@@ -107,6 +172,94 @@ func (s *station) serve(core int) {
 		}
 		s.serve(core)
 	})
+}
+
+// failCore kills one core: its in-flight packet and ring backlog are
+// re-homed onto the surviving cores (tail-dropping if their rings are
+// full), new arrivals are steered away, and the capacity callback fires.
+// Failing a dead core is a no-op.
+func (s *station) failCore(core int) {
+	if core < 0 || core >= len(s.busy) || s.dead[core] {
+		return
+	}
+	s.dead[core] = true
+	s.gen[core]++ // void the pending completion, if any
+	s.crashes++
+	s.busy[core] = false
+	if p := s.inflight[core]; p != nil {
+		// Unwind the service time the crash cut short.
+		if rem := s.inflightDone[core] - s.eng.Now(); rem > 0 {
+			s.busyTime -= rem
+		}
+		s.inflight[core] = nil
+		s.rehome(p)
+	}
+	q := s.port.Queue(core)
+	for p := q.Pop(); p != nil; p = q.Pop() {
+		s.rehome(p)
+	}
+	if s.onCapacity != nil {
+		s.onCapacity(s.aliveCores(), len(s.busy))
+	}
+}
+
+// recoverCore brings a dead core back. Its ring is empty (drained at crash
+// time, arrivals steered away since), so it simply rejoins the RSS spread.
+func (s *station) recoverCore(core int) {
+	if core < 0 || core >= len(s.busy) || !s.dead[core] {
+		return
+	}
+	s.dead[core] = false
+	if s.port.Queue(core).Count() > 0 && !s.busy[core] {
+		s.busy[core] = true
+		s.eng.Schedule(0, func() { s.serve(core) })
+	}
+	if s.onCapacity != nil {
+		s.onCapacity(s.aliveCores(), len(s.busy))
+	}
+}
+
+// rehome moves a crashed core's packet to a surviving core, or drops it
+// when none is left.
+func (s *station) rehome(p *packet.Packet) {
+	h := uint64(p.SrcPort)<<16 ^ p.ID
+	alive := s.nextAlive(int(h % uint64(len(s.busy))))
+	if alive < 0 {
+		s.faultDrops++
+		return
+	}
+	s.requeued++
+	s.enqueueCore(p, alive, 0)
+}
+
+// aliveCores returns how many cores are not crashed.
+func (s *station) aliveCores() int {
+	n := 0
+	for _, d := range s.dead {
+		if !d {
+			n++
+		}
+	}
+	return n
+}
+
+// setProfile swaps the station's service profile in place (accelerator
+// degradation/restoration at run time). The core count is pinned at build
+// time, so the replacement profile serves with the original parallelism.
+func (s *station) setProfile(p platform.FnProfile) {
+	p.Servers = s.prof.Servers
+	s.prof = p
+}
+
+// inflightCount returns how many packets are mid-service right now.
+func (s *station) inflightCount() int {
+	n := 0
+	for _, p := range s.inflight {
+		if p != nil {
+			n++
+		}
+	}
+	return n
 }
 
 func (s *station) anyBusy() bool {

@@ -1,0 +1,50 @@
+package stats
+
+// Recovery analysis over fixed-window rate series (the fault experiments'
+// delivered-rate signal): how long after a disruption ends does the rate
+// climb back to a fraction of its pre-disruption baseline?
+
+// WindowMean averages series[lo:hi) (indices clamped to the series); an
+// empty range yields 0.
+func WindowMean(series []float64, lo, hi int) float64 {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(series) {
+		hi = len(series)
+	}
+	if hi <= lo {
+		return 0
+	}
+	var sum float64
+	for _, v := range series[lo:hi] {
+		sum += v
+	}
+	return sum / float64(hi-lo)
+}
+
+// RecoveryTime scans a rate series sampled every windowNS for the first
+// window starting at or after faultEndNS whose rate reaches frac×baseline,
+// and returns the elapsed time from faultEndNS to that window's end. ok is
+// false when the series never recovers (or the inputs are degenerate).
+func RecoveryTime(series []float64, windowNS, faultEndNS int64, baseline, frac float64) (elapsedNS int64, ok bool) {
+	if windowNS <= 0 || baseline <= 0 || len(series) == 0 {
+		return 0, false
+	}
+	target := baseline * frac
+	// First window whose [start, end) begins at or after the fault's end.
+	first := int((faultEndNS + windowNS - 1) / windowNS)
+	if first < 0 {
+		first = 0
+	}
+	for i := first; i < len(series); i++ {
+		if series[i] >= target {
+			end := int64(i+1) * windowNS
+			if end < faultEndNS {
+				return 0, true
+			}
+			return end - faultEndNS, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,51 @@
+package stats
+
+import "testing"
+
+func TestWindowMean(t *testing.T) {
+	s := []float64{10, 20, 30, 40}
+	if got := WindowMean(s, 0, 2); got != 15 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Clamped bounds.
+	if got := WindowMean(s, -5, 100); got != 25 {
+		t.Fatalf("clamped mean = %v", got)
+	}
+	if got := WindowMean(s, 3, 3); got != 0 {
+		t.Fatalf("empty range mean = %v", got)
+	}
+	if got := WindowMean(nil, 0, 1); got != 0 {
+		t.Fatalf("nil series mean = %v", got)
+	}
+}
+
+func TestRecoveryTime(t *testing.T) {
+	// 10 windows of 5: healthy 50, dip to 10 in windows 4-5, back at 6.
+	s := []float64{50, 50, 50, 50, 10, 10, 50, 50, 50, 50}
+	const win = 5
+	// Fault ends at t=30 (start of window 6). Window 6 is the first at
+	// target; its end is 35 → 5 elapsed.
+	got, ok := RecoveryTime(s, win, 30, 50, 0.95)
+	if !ok || got != 5 {
+		t.Fatalf("recovery = %v, %v; want 5, true", got, ok)
+	}
+	// Fault end mid-window rounds up to the next whole window.
+	got, ok = RecoveryTime(s, win, 28, 50, 0.95)
+	if !ok || got != 7 {
+		t.Fatalf("recovery = %v, %v; want 7, true", got, ok)
+	}
+	// Never recovers.
+	if _, ok := RecoveryTime([]float64{50, 10, 10, 10}, win, 5, 50, 0.95); ok {
+		t.Fatal("should not report recovery")
+	}
+	// Degenerate inputs.
+	if _, ok := RecoveryTime(s, 0, 30, 50, 0.95); ok {
+		t.Fatal("zero window")
+	}
+	if _, ok := RecoveryTime(s, win, 30, 0, 0.95); ok {
+		t.Fatal("zero baseline")
+	}
+	if _, ok := RecoveryTime(nil, win, 30, 50, 0.95); ok {
+		t.Fatal("empty series")
+	}
+}

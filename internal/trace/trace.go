@@ -56,18 +56,40 @@ type Params struct {
 	PeakGbps float64 // clamp: the client NIC line rate
 }
 
-// ParamsFor returns the paper's parameters for w.
-func ParamsFor(w Workload) Params {
+// Params returns the paper's parameters for w, or an error for a workload
+// value outside the known set.
+func (w Workload) Params() (Params, error) {
 	switch w {
 	case Web:
-		return Params{Name: "web", Mu: -1.37, Sigma: 1.97, AvgGbps: 1.6, PeakGbps: 100}
+		return Params{Name: "web", Mu: -1.37, Sigma: 1.97, AvgGbps: 1.6, PeakGbps: 100}, nil
 	case Cache:
-		return Params{Name: "cache", Mu: -9, Sigma: 7.55, AvgGbps: 5.2, PeakGbps: 100}
+		return Params{Name: "cache", Mu: -9, Sigma: 7.55, AvgGbps: 5.2, PeakGbps: 100}, nil
 	case Hadoop:
-		return Params{Name: "hadoop", Mu: -4.18, Sigma: 6.56, AvgGbps: 10.9, PeakGbps: 100}
+		return Params{Name: "hadoop", Mu: -4.18, Sigma: 6.56, AvgGbps: 10.9, PeakGbps: 100}, nil
 	default:
-		panic("trace: unknown workload")
+		return Params{}, fmt.Errorf("trace: unknown workload %d (want web, cache, or hadoop)", int(w))
 	}
+}
+
+// ParamsFor returns the paper's parameters for w. It panics on an unknown
+// workload; callers that can surface an error should use Workload.Params.
+func ParamsFor(w Workload) Params {
+	p, err := w.Params()
+	if err != nil {
+		panic(err.Error())
+	}
+	return p
+}
+
+// ParseWorkload maps a workload name ("web", "cache", "hadoop") to its
+// Workload, with an error listing the valid names on a miss.
+func ParseWorkload(name string) (Workload, error) {
+	for _, w := range Workloads {
+		if w.String() == name {
+			return w, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown workload %q (want web, cache, or hadoop)", name)
 }
 
 // Generator produces a piecewise-constant offered-rate process: every epoch
@@ -86,7 +108,18 @@ func NewGenerator(p Params, seed int64) *Generator {
 	return g
 }
 
+// New returns a deterministic generator for workload w seeded with seed,
+// or an error for a workload value outside the known set.
+func New(w Workload, seed int64) (*Generator, error) {
+	p, err := w.Params()
+	if err != nil {
+		return nil, err
+	}
+	return NewGenerator(p, seed), nil
+}
+
 // NewWorkloadGenerator is shorthand for NewGenerator(ParamsFor(w), seed).
+// It panics on an unknown workload; use New to get an error instead.
 func NewWorkloadGenerator(w Workload, seed int64) *Generator {
 	return NewGenerator(ParamsFor(w), seed)
 }

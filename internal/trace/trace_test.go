@@ -240,3 +240,41 @@ func TestFitLogNormalDegenerate(t *testing.T) {
 		t.Fatal("two positive samples suffice")
 	}
 }
+
+func TestParseWorkload(t *testing.T) {
+	for _, w := range Workloads {
+		got, err := ParseWorkload(w.String())
+		if err != nil || got != w {
+			t.Errorf("ParseWorkload(%q) = %v, %v", w.String(), got, err)
+		}
+	}
+	if _, err := ParseWorkload("bogus"); err == nil {
+		t.Fatal("bogus workload should fail")
+	}
+}
+
+func TestNewUnknownWorkloadErrors(t *testing.T) {
+	if _, err := New(Workload(99), 1); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	g, err := New(Web, 1)
+	if err != nil || g == nil {
+		t.Fatalf("New(Web) = %v, %v", g, err)
+	}
+	// New and the legacy shorthand agree draw for draw.
+	h := NewWorkloadGenerator(Web, 1)
+	for i := 0; i < 10; i++ {
+		if g.NextRateGbps() != h.NextRateGbps() {
+			t.Fatal("New and NewWorkloadGenerator diverge")
+		}
+	}
+}
+
+func TestParamsForPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ParamsFor(Workload(99))
+}
