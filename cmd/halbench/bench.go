@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"halsim/internal/experiments"
+	"halsim/internal/nf"
+	"halsim/internal/server"
+	"halsim/internal/sim"
+)
+
+// benchResult is one measurement row of the BENCH_*.json snapshot.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchSnapshot is the machine-readable artifact the CI bench job uploads;
+// diffing two snapshots is the regression check for the hot path.
+type benchSnapshot struct {
+	Timestamp string        `json:"timestamp"`
+	Quick     bool          `json:"quick"`
+	Seed      int64         `json:"seed"`
+	GoVersion string        `json:"go_version,omitempty"`
+	Results   []benchResult `json:"results"`
+}
+
+// runBenchSuite measures the regression-sentinel benchmarks (the three
+// ModeNAT80G modes and the Table V matrix, mirroring bench_test.go) with
+// testing.Benchmark and writes a JSON snapshot next to the ASCII summary.
+// quick shrinks simulated durations so a CI run finishes in seconds.
+func runBenchSuite(opt experiments.Options, quick bool, outPath string) error {
+	runDur := 20 * sim.Millisecond
+	t5 := opt
+	t5.Duration, t5.TraceDuration = 20*sim.Millisecond, 40*sim.Millisecond
+	if quick {
+		runDur = 5 * sim.Millisecond
+		t5.Duration, t5.TraceDuration = 5*sim.Millisecond, 10*sim.Millisecond
+	}
+
+	modeBench := func(mode server.Mode) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := server.Run(
+					server.Config{Mode: mode, Fn: nf.NAT, Seed: opt.Seed},
+					server.RunConfig{Duration: runDur, RateGbps: 80})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed == 0 {
+					b.Fatal("no packets completed")
+				}
+			}
+		}
+	}
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"ModeNAT80G/SNIC", modeBench(server.SNICOnly)},
+		{"ModeNAT80G/Host", modeBench(server.HostOnly)},
+		{"ModeNAT80G/HAL", modeBench(server.HAL)},
+		{"Table5", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Table5(t5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(r.Rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		}},
+	}
+
+	snap := benchSnapshot{
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Quick:     quick,
+		Seed:      opt.Seed,
+	}
+	for _, nb := range benches {
+		r := testing.Benchmark(nb.fn)
+		if r.N == 0 {
+			return fmt.Errorf("bench %s: benchmark failed", nb.name)
+		}
+		br := benchResult{
+			Name:        nb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		snap.Results = append(snap.Results, br)
+		fmt.Printf("%-18s %6d iter  %14.0f ns/op  %12d B/op  %10d allocs/op\n",
+			br.Name, br.Iterations, br.NsPerOp, br.BytesPerOp, br.AllocsPerOp)
+	}
+
+	if outPath == "" {
+		outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("20060102T150405Z"))
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}

@@ -3,17 +3,24 @@
 //
 // Usage:
 //
-//	halbench [-quick] [-seed N] [experiment ...]
+//	halbench [-quick] [-seed N] [-csv] [-cpuprofile f] [-memprofile f] [experiment ...]
 //
 // With no experiment arguments it runs all of them. Valid names: tab1,
 // fig2, fig3, fig4, fig5, fig8, fig9, fig10, tab2, tab5, costs, ablation,
 // faults, validate.
+//
+// The extra experiment name "bench" runs the regression-sentinel
+// benchmarks (ModeNAT80G per mode, Table V) under testing.Benchmark and
+// writes a BENCH_*.json snapshot (override the path with -benchout); CI
+// runs `halbench -quick bench` and archives the snapshot per commit.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"halsim/internal/experiments"
@@ -37,11 +44,45 @@ func main() {
 	quick := flag.Bool("quick", false, "shorter simulations (noisier numbers)")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	benchOut := flag.String("benchout", "", "bench: JSON snapshot path (default BENCH_<timestamp>.json)")
 	flag.Parse()
 	emitCSV = *csv
+	// run returns instead of calling os.Exit so the profile defers flush.
+	os.Exit(run(*quick, *seed, *cpuprofile, *memprofile, *benchOut, flag.Args()))
+}
 
-	opt := experiments.Options{Seed: *seed}
-	if *quick {
+func run(quick bool, seed int64, cpuprofile, memprofile, benchOut string, names []string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "halbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "halbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "halbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "halbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	opt := experiments.Options{Seed: seed}
+	if quick {
 		opt.Duration = 80 * sim.Millisecond
 		opt.TraceDuration = 200 * sim.Millisecond
 	}
@@ -181,23 +222,26 @@ func main() {
 			return nil
 		},
 	}
+	runners["bench"] = func(o experiments.Options) error {
+		return runBenchSuite(o, quick, benchOut)
+	}
 	order := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig5", "fig8", "fig9", "tab5", "fig10", "costs", "ablation", "faults", "validate"}
 
-	names := flag.Args()
 	if len(names) == 0 {
 		names = order
 	}
 	for _, name := range names {
-		run, ok := runners[name]
+		runner, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "halbench: unknown experiment %q (valid: %v)\n", name, order)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "halbench: unknown experiment %q (valid: %v, plus bench)\n", name, order)
+			return 2
 		}
 		start := time.Now()
-		if err := run(opt); err != nil {
+		if err := runner(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "halbench: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -81,14 +81,24 @@ func (q *RxQueue) Burst(max int) []*packet.Packet {
 	if n == 0 {
 		return nil
 	}
-	out := make([]*packet.Packet, n)
+	return q.BurstInto(make([]*packet.Packet, 0, n), max)
+}
+
+// BurstInto is Burst with scratch-buffer reuse: up to max packets are
+// appended to dst (typically dst[:0] of a retained slice) so a polling loop
+// bursts without per-call allocation once the buffer has grown.
+func (q *RxQueue) BurstInto(dst []*packet.Packet, max int) []*packet.Packet {
+	n := q.count
+	if n > max {
+		n = max
+	}
 	for i := 0; i < n; i++ {
-		out[i] = q.buf[q.head]
+		dst = append(dst, q.buf[q.head])
 		q.buf[q.head] = nil
 		q.head = (q.head + 1) % len(q.buf)
 	}
 	q.count -= n
-	return out
+	return dst
 }
 
 // Pop removes and returns the head packet, or nil when empty.

@@ -89,8 +89,13 @@ func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
 // parMap runs f(0..n-1) with bounded parallelism (one worker per CPU) and
-// returns the first error. Simulation runs are independent and internally
-// deterministic, so fanning them out changes wall time only.
+// returns the lowest-index error. Simulation runs are independent and
+// internally deterministic, so fanning them out changes wall time only —
+// including the error: indices are claimed in increasing order and every
+// claimed index below a failing one runs to completion, so the lowest
+// erroring index is always claimed, always observed, and always the one
+// returned, no matter how goroutines interleave. Once any call fails,
+// workers stop claiming new indices instead of draining the remaining work.
 func parMap(n int, f func(i int) error) error {
 	workers := runtime.NumCPU()
 	if workers > n {
@@ -105,33 +110,36 @@ func parMap(n int, f func(i int) error) error {
 		return nil
 	}
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		next     int64 = -1
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		errIdx = n
+		errVal error
+		next   int64 = -1
+		failed atomic.Bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for !failed.Load() {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
 					return
 				}
 				if err := f(i); err != nil {
 					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+					if i < errIdx {
+						errIdx, errVal = i, err
 					}
 					mu.Unlock()
+					failed.Store(true)
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	return errVal
 }
 
 // CSV renders the table as comma-separated values (headers first). Cells

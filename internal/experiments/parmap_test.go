@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParMapLowestIndexError pins the determinism contract: whichever
+// goroutine finishes first, the error returned is always the one from the
+// lowest failing index.
+func TestParMapLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for trial := 0; trial < 50; trial++ {
+		err := parMap(64, func(i int) error {
+			switch i {
+			case 3:
+				// Give higher indices a head start so the old
+				// "first error observed wins" behavior would
+				// frequently return errHigh.
+				time.Sleep(200 * time.Microsecond)
+				return errLow
+			case 7, 21:
+				return errHigh
+			}
+			return nil
+		})
+		if err != errLow {
+			t.Fatalf("trial %d: got %v, want lowest-index error %v", trial, err, errLow)
+		}
+	}
+}
+
+// TestParMapStopsDrainingAfterFailure checks that a failure stops workers
+// from claiming the remaining work instead of running the full range.
+func TestParMapStopsDrainingAfterFailure(t *testing.T) {
+	const n = 100000
+	var executed atomic.Int64
+	err := parMap(n, func(i int) error {
+		executed.Add(1)
+		if i == 0 {
+			return fmt.Errorf("boom at %d", i)
+		}
+		time.Sleep(50 * time.Microsecond)
+		return nil
+	})
+	if err == nil || err.Error() != "boom at 0" {
+		t.Fatalf("err = %v, want boom at 0", err)
+	}
+	if got := executed.Load(); got > n/2 {
+		t.Fatalf("executed %d of %d tasks after early failure; draining was not stopped", got, n)
+	}
+}
+
+// TestParMapNoError exercises the success path across all workers.
+func TestParMapNoError(t *testing.T) {
+	var count atomic.Int64
+	if err := parMap(257, func(i int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 257 {
+		t.Fatalf("ran %d of 257", count.Load())
+	}
+}

@@ -99,22 +99,28 @@ type Packet struct {
 
 // New returns a packet with the given 5-tuple and payload; WireLen defaults
 // to the real frame size (clamped up to the 64-byte Ethernet minimum).
+// Hot paths should obtain packets from a Pool instead.
 func New(src, dst Addr, srcPort, dstPort uint16, payload []byte) *Packet {
-	p := &Packet{
-		SrcMAC:  src.MAC,
-		DstMAC:  dst.MAC,
-		SrcIP:   src.IP,
-		DstIP:   dst.IP,
-		SrcPort: srcPort,
-		DstPort: dstPort,
-		Proto:   ProtoUDP,
-		Payload: payload,
-	}
+	p := &Packet{}
+	p.init(src, dst, srcPort, dstPort, payload)
+	return p
+}
+
+// init fills a zeroed packet with the given 5-tuple and payload (shared by
+// New and Pool.Get).
+func (p *Packet) init(src, dst Addr, srcPort, dstPort uint16, payload []byte) {
+	p.SrcMAC = src.MAC
+	p.DstMAC = dst.MAC
+	p.SrcIP = src.IP
+	p.DstIP = dst.IP
+	p.SrcPort = srcPort
+	p.DstPort = dstPort
+	p.Proto = ProtoUDP
+	p.Payload = payload
 	p.WireLen = len(payload) + HeaderOverhead
 	if p.WireLen < MinWireLen {
 		p.WireLen = MinWireLen
 	}
-	return p
 }
 
 // Clone returns a deep copy (payload included).
@@ -137,9 +143,20 @@ var (
 
 // Marshal renders the packet as real wire bytes (Ethernet II + IPv4 + UDP)
 // and stores the computed checksums back into the packet.
-func (p *Packet) Marshal() []byte {
+func (p *Packet) Marshal() []byte { return p.MarshalInto(nil) }
+
+// MarshalInto is Marshal with scratch-buffer reuse: when buf has enough
+// capacity the frame is rendered into it (resliced to the frame length) and
+// no allocation happens; otherwise a fresh buffer is allocated. Callers
+// that marshal in a loop should feed the previous result back in.
+func (p *Packet) MarshalInto(buf []byte) []byte {
 	total := EthHeaderLen + IPv4HeaderLen + UDPHeaderLen + len(p.Payload)
-	b := make([]byte, total)
+	var b []byte
+	if cap(buf) >= total {
+		b = buf[:total]
+	} else {
+		b = make([]byte, total)
+	}
 
 	// Ethernet.
 	copy(b[0:6], p.DstMAC[:])
@@ -152,6 +169,7 @@ func (p *Packet) Marshal() []byte {
 	ip[1] = 0
 	binary.BigEndian.PutUint16(ip[2:4], uint16(IPv4HeaderLen+UDPHeaderLen+len(p.Payload)))
 	binary.BigEndian.PutUint16(ip[4:6], uint16(p.ID)) // identification
+	ip[6], ip[7] = 0, 0                               // flags/fragment (reused buffers carry stale bytes)
 	ip[8] = 64                                        // TTL
 	ip[9] = p.Proto
 	copy(ip[12:16], p.SrcIP[:])

@@ -1,0 +1,132 @@
+package packet
+
+import (
+	"bytes"
+	"testing"
+)
+
+// testAddr builds a distinct endpoint identity from a single byte.
+func testAddr(n byte) Addr {
+	return Addr{MAC: MAC{0x02, 0, 0, 0, 0, n}, IP: IPv4{10, 0, 0, n}}
+}
+
+func TestPoolReuseLIFO(t *testing.T) {
+	pl := NewPool()
+	a := pl.Get(testAddr(1), testAddr(2), 4000, 9000, nil)
+	b := pl.Get(testAddr(1), testAddr(2), 4001, 9000, nil)
+	if pl.News != 2 || pl.Reused != 0 {
+		t.Fatalf("News=%d Reused=%d, want 2/0", pl.News, pl.Reused)
+	}
+	pl.Put(a)
+	pl.Put(b)
+	// LIFO: the most recently released struct comes back first — this is
+	// what makes reuse order a pure function of the event sequence.
+	c := pl.Get(testAddr(3), testAddr(4), 4002, 9000, nil)
+	d := pl.Get(testAddr(3), testAddr(4), 4003, 9000, nil)
+	if c != b || d != a {
+		t.Fatal("reuse is not LIFO")
+	}
+	if pl.News != 2 || pl.Reused != 2 || pl.Released != 2 {
+		t.Fatalf("News=%d Reused=%d Released=%d, want 2/2/2", pl.News, pl.Reused, pl.Released)
+	}
+}
+
+func TestPoolGetResetsState(t *testing.T) {
+	pl := NewPool()
+	p := pl.Get(testAddr(1), testAddr(2), 1111, 2222, []byte("payload"))
+	p.ID = 99
+	p.FnTag = 3
+	p.CreatedAt = 12345
+	p.WireLen = 1500
+	pl.Put(p)
+	if p.Payload != nil {
+		t.Fatal("Put must drop the payload reference")
+	}
+	q := pl.Get(testAddr(9), testAddr(8), 3333, 4444, nil)
+	if q != p {
+		t.Fatal("expected the released struct back")
+	}
+	if q.ID != 0 || q.FnTag != 0 || q.CreatedAt != 0 || q.Payload != nil {
+		t.Fatalf("reused packet carries stale state: %+v", q)
+	}
+	if q.SrcIP != (IPv4{10, 0, 0, 9}) || q.SrcPort != 3333 {
+		t.Fatalf("reused packet not reinitialized: %+v", q)
+	}
+}
+
+func TestPoolLiveAccounting(t *testing.T) {
+	pl := NewPool()
+	a := pl.Get(testAddr(1), testAddr(2), 1, 2, nil)
+	b := pl.Get(testAddr(1), testAddr(2), 3, 4, nil)
+	if pl.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", pl.Live())
+	}
+	pl.Put(a)
+	if pl.Live() != 1 {
+		t.Fatalf("Live = %d, want 1", pl.Live())
+	}
+	pl.Put(b)
+	if pl.Live() != 0 {
+		t.Fatalf("Live = %d, want 0", pl.Live())
+	}
+}
+
+func TestNilPoolDegradesToNew(t *testing.T) {
+	var pl *Pool
+	p := pl.Get(testAddr(1), testAddr(2), 10, 20, []byte("x"))
+	if p == nil || p.SrcPort != 10 || string(p.Payload) != "x" {
+		t.Fatalf("nil pool Get broken: %+v", p)
+	}
+	pl.Put(p)   // no-op, must not panic
+	pl.Put(nil) // ditto
+	NewPool().Put(nil)
+}
+
+// TestMarshalIntoReuseMatchesMarshal checks the scratch-buffer path: a
+// buffer dirtied by a previous (larger) frame must yield byte-identical
+// output to a fresh Marshal, including the header bytes Marshal only
+// implicitly zeroed before buffer reuse existed.
+func TestMarshalIntoReuseMatchesMarshal(t *testing.T) {
+	big := New(testAddr(1), testAddr(2), 4000, 9000,
+		bytes.Repeat([]byte{0xAB}, 256))
+	buf := big.MarshalInto(nil)
+	for _, payload := range [][]byte{nil, []byte("hi"), bytes.Repeat([]byte{0xCD}, 64)} {
+		p := New(testAddr(7), testAddr(9), 1234, 5678, payload)
+		fresh := p.Marshal()
+		buf = p.MarshalInto(buf[:0])
+		if !bytes.Equal(fresh, buf) {
+			t.Fatalf("payload %d bytes: reused-buffer frame differs from fresh Marshal", len(payload))
+		}
+		// The reused frame must itself parse back.
+		q, err := Parse(buf)
+		if err != nil {
+			t.Fatalf("parse of reused-buffer frame: %v", err)
+		}
+		if q.SrcPort != 1234 || q.DstPort != 5678 {
+			t.Fatalf("round trip lost ports: %+v", q)
+		}
+	}
+}
+
+// TestMarshalIntoGrowsSmallBuffer checks that an undersized scratch buffer
+// is replaced, not sliced out of bounds.
+func TestMarshalIntoGrowsSmallBuffer(t *testing.T) {
+	p := New(testAddr(1), testAddr(2), 1, 2, bytes.Repeat([]byte{0x5A}, 100))
+	small := make([]byte, 0, 8)
+	out := p.MarshalInto(small)
+	if !bytes.Equal(out, p.Marshal()) {
+		t.Fatal("grown-buffer frame differs from fresh Marshal")
+	}
+}
+
+// TestPoolGetReuseAllocationFree pins the pooled path at zero allocations
+// once the free-list is warm.
+func TestPoolGetReuseAllocationFree(t *testing.T) {
+	pl := NewPool()
+	pl.Put(pl.Get(testAddr(1), testAddr(2), 1, 2, nil)) // warm the free-list
+	if avg := testing.AllocsPerRun(200, func() {
+		pl.Put(pl.Get(testAddr(3), testAddr(4), 7, 8, nil))
+	}); avg != 0 {
+		t.Fatalf("warm Get/Put allocates %v per cycle, want 0", avg)
+	}
+}

@@ -45,6 +45,16 @@ type client struct {
 	// over the same packet population.
 	warmupEnd sim.Time
 
+	// pool recycles request packets; the completion and drop paths release
+	// them back.
+	pool *packet.Pool
+	// sendNextCall and scheduleNextFn are the arrival loop's handlers,
+	// bound once in start so per-packet scheduling captures no closure
+	// (a method value materialized at a call site allocates; a stored
+	// field does not).
+	sendNextCall   sim.Call
+	scheduleNextFn func()
+
 	seq       uint64
 	sentPkts  uint64
 	sentBytes uint64
@@ -58,6 +68,8 @@ type client struct {
 
 // start arms the arrival process (and the trace epoch timer, if tracing).
 func (c *client) start() {
+	c.sendNextCall = c.sendNext
+	c.scheduleNextFn = c.scheduleNext
 	if c.tracegen != nil {
 		c.rateGbps = c.tracegen.NextRateGbps()
 		c.ticker = c.eng.Every(c.epoch, func() {
@@ -90,7 +102,7 @@ func (c *client) scheduleNext() {
 		return
 	}
 	if c.rateGbps <= 0 {
-		c.eng.Schedule(c.epoch, c.scheduleNext)
+		c.eng.Schedule(c.epoch, c.scheduleNextFn)
 		return
 	}
 	size := c.sizes.Sample(c.rng)
@@ -99,20 +111,24 @@ func (c *client) scheduleNext() {
 	// Compare in the float domain: a near-zero epoch rate can push the
 	// gap past int64 range, and converting first would wrap negative.
 	if c.tracegen != nil && gapF > float64(c.epoch) {
-		c.eng.Schedule(c.epoch, c.scheduleNext)
+		c.eng.Schedule(c.epoch, c.scheduleNextFn)
 		return
 	}
 	if gapF > maxGapNS {
 		gapF = maxGapNS
 	}
 	gap := sim.Time(gapF)
-	c.eng.Schedule(gap, func() {
-		if c.stopped {
-			return
-		}
-		c.send(size)
-		c.scheduleNext()
-	})
+	c.eng.ScheduleCall(gap, c.sendNextCall, nil, int64(size))
+}
+
+// sendNext fires one arrival (the closure-free form of the send-and-rearm
+// event; n carries the drawn wire size).
+func (c *client) sendNext(_ any, n int64) {
+	if c.stopped {
+		return
+	}
+	c.send(int(n))
+	c.scheduleNext()
 }
 
 func (c *client) send(size int) {
@@ -131,7 +147,7 @@ func (c *client) send(size int) {
 		payload = c.gen.Next(c.rng)
 	}
 	c.seq++
-	p := packet.New(c.addr, c.dst, uint16(4000+c.seq%1000), 9000, payload)
+	p := c.pool.Get(c.addr, c.dst, uint16(4000+c.seq%1000), 9000, payload)
 	p.ID = c.seq
 	p.WireLen = size
 	if real := len(payload) + packet.HeaderOverhead; real > p.WireLen {

@@ -346,6 +346,21 @@ type run struct {
 	rc  RunConfig
 	eng *sim.Engine
 
+	// pool recycles packets for the whole run: requests are released on
+	// completion or at their drop point, responses after client delivery.
+	// Single-threaded LIFO reuse keeps replays bit-identical.
+	pool *packet.Pool
+
+	// Pre-bound event handlers for closure-free scheduling on the packet
+	// path (sim.ScheduleCall): each is allocated once per run and carries
+	// the packet as the event's argument word.
+	arriveSNICCall sim.Call
+	arriveHostCall sim.Call
+	halIngressCall sim.Call
+	forwardCall    sim.Call
+	toSNICCall     sim.Call
+	toHostCall     sim.Call
+
 	fn      nf.Function
 	gen     nf.RequestGen
 	fn2     nf.Function
@@ -396,6 +411,17 @@ func (r *run) profile(pl *platform.Platform, override *platform.FnProfile, fn nf
 
 func (r *run) build() error {
 	cfg := r.cfg
+	r.pool = packet.NewPool()
+	r.arriveSNICCall = func(a any, _ int64) { r.arriveSNIC(a.(*packet.Packet)) }
+	r.arriveHostCall = func(a any, _ int64) { r.arriveHost(a.(*packet.Packet)) }
+	r.halIngressCall = func(a any, _ int64) {
+		p := a.(*packet.Packet)
+		r.hal.Ingress(p)
+		r.sw.Forward(p)
+	}
+	r.forwardCall = func(a any, _ int64) { r.sw.Forward(a.(*packet.Packet)) }
+	r.toSNICCall = func(a any, _ int64) { r.snic.first.enqueue(a.(*packet.Packet)) }
+	r.toHostCall = func(a any, _ int64) { r.host.first.enqueue(a.(*packet.Packet)) }
 	var err error
 	r.fn, r.gen, err = nf.New(cfg.Fn, cfg.FnConfig)
 	if err != nil {
@@ -432,6 +458,8 @@ func (r *run) build() error {
 
 	r.snic.first = newStation(r.eng, "snic", snicProf, cfg.RingSize, cfg.Seed+1)
 	r.host.first = newStation(r.eng, "host", hostProf, cfg.RingSize, cfg.Seed+2)
+	r.snic.first.release = r.pool.Put
+	r.host.first.release = r.pool.Put
 	if cfg.MixOn {
 		sp := r.profile(cfg.SNIC, nil, cfg.MixFn)
 		hp := r.profile(cfg.Host, nil, cfg.MixFn)
@@ -441,6 +469,8 @@ func (r *run) build() error {
 	if cfg.PipelineOn {
 		r.snic.second = newStation(r.eng, "snic2", r.profile(cfg.SNIC, nil, cfg.Pipeline), cfg.RingSize, cfg.Seed+3)
 		r.host.second = newStation(r.eng, "host2", r.profile(cfg.Host, nil, cfg.Pipeline), cfg.RingSize, cfg.Seed+4)
+		r.snic.second.release = r.pool.Put
+		r.host.second.release = r.pool.Put
 	}
 
 	// Coherent state access cost for stateful cooperative processing.
@@ -477,13 +507,14 @@ func (r *run) build() error {
 		r.host.first.sleep = r.hostSleep
 	}
 
-	// eSwitch wiring.
+	// eSwitch wiring. The bind closures are allocated once; per-packet
+	// crossings schedule through the pre-bound handlers.
 	r.sw = eswitch.New()
 	r.sw.Bind(eswitch.PortSNIC, func(p *packet.Packet) {
-		r.eng.Schedule(platform.PCIeCrossNS, func() { r.arriveSNIC(p) })
+		r.eng.ScheduleCall(platform.PCIeCrossNS, r.arriveSNICCall, p, 0)
 	})
 	r.sw.Bind(eswitch.PortHost, func(p *packet.Packet) {
-		r.eng.Schedule(platform.PCIeCrossNS+platform.SNICCloserNS, func() { r.arriveHost(p) })
+		r.eng.ScheduleCall(platform.PCIeCrossNS+platform.SNICCloserNS, r.arriveHostCall, p, 0)
 	})
 	r.sw.Bind(eswitch.PortWire, func(p *packet.Packet) { r.deliverResponse(p) })
 
@@ -546,12 +577,11 @@ func (r *run) build() error {
 			JitterMeanNS: 100,
 		}
 		r.slbFwd = newStation(r.eng, "host-fwd", fwdProf, cfg.RingSize, cfg.Seed+5)
+		r.slbFwd.release = r.pool.Put
 		r.slbFwd.onServed = func(p *packet.Packet) {
 			// Host → eSwitch → SNIC: two more PCIe crossings and a
 			// second DPDK receive at the SNIC (§IV).
-			r.eng.Schedule(2*platform.PCIeCrossNS, func() {
-				r.snic.first.enqueue(p)
-			})
+			r.eng.ScheduleCall(2*platform.PCIeCrossNS, r.toSNICCall, p, 0)
 		}
 	}
 
@@ -567,12 +597,11 @@ func (r *run) build() error {
 			JitterMeanNS: 200,
 		}
 		r.slbFwd = newStation(r.eng, "slb-fwd", fwdProf, cfg.RingSize, cfg.Seed+5)
+		r.slbFwd.release = r.pool.Put
 		r.slbFwd.onServed = func(p *packet.Packet) {
 			// Forwarded over the long path: SNIC memory → eSwitch →
 			// PCIe → host (§IV).
-			r.eng.Schedule(2*platform.PCIeCrossNS, func() {
-				r.host.first.enqueue(p)
-			})
+			r.eng.ScheduleCall(2*platform.PCIeCrossNS, r.toHostCall, p, 0)
 		}
 	}
 
@@ -608,6 +637,7 @@ func (r *run) build() error {
 	// Client.
 	r.cli = &client{
 		eng:           r.eng,
+		pool:          r.pool,
 		warmupEnd:     r.warmupEnd,
 		genAlt:        genAlt,
 		mixFrac:       cfg.MixFraction,
@@ -636,10 +666,7 @@ func (r *run) build() error {
 func (r *run) ingress(p *packet.Packet) {
 	switch r.cfg.Mode {
 	case HAL:
-		r.eng.Schedule(core.IngressLatency, func() {
-			r.hal.Ingress(p)
-			r.sw.Forward(p)
-		})
+		r.eng.ScheduleCall(core.IngressLatency, r.halIngressCall, p, 0)
 	default:
 		r.sw.Forward(p)
 	}
@@ -706,13 +733,15 @@ func (r *run) complete(p *packet.Packet, onSNIC bool) {
 	}
 	// Response: src is the processing side; the merger fixes host
 	// responses up before the wire.
-	resp := packet.New(snicAddr, clientAddr, 9000, uint16(4000+p.ID%1000), nil)
+	resp := r.pool.Get(snicAddr, clientAddr, 9000, uint16(4000+p.ID%1000), nil)
 	if !onSNIC {
 		resp.SrcIP, resp.SrcMAC = hostAddr.IP, hostAddr.MAC
 	}
 	resp.ID = p.ID
 	resp.CreatedAt = p.CreatedAt
 	resp.WireLen = 128
+	// The request is fully consumed; recycle it for a future arrival.
+	r.pool.Put(p)
 	egress := sim.Time(200) // serialization toward the wire
 	if !onSNIC {
 		egress += platform.PCIeCrossNS
@@ -721,7 +750,7 @@ func (r *run) complete(p *packet.Packet, onSNIC bool) {
 		r.hal.Egress(resp)
 		egress += core.EgressLatency
 	}
-	r.eng.Schedule(egress, func() { r.sw.Forward(resp) })
+	r.eng.ScheduleCall(egress, r.forwardCall, resp, 0)
 }
 
 // deliverResponse records the client-observed round trip for packets
@@ -730,10 +759,10 @@ func (r *run) deliverResponse(p *packet.Packet) {
 	if ph := r.phaseAt(sim.Time(p.CreatedAt)); ph != nil {
 		ph.hist.Record(int64(r.eng.Now()) - p.CreatedAt)
 	}
-	if sim.Time(p.CreatedAt) < r.warmupEnd {
-		return
+	if sim.Time(p.CreatedAt) >= r.warmupEnd {
+		r.lat.Record(int64(r.eng.Now()) - p.CreatedAt)
 	}
-	r.lat.Record(int64(r.eng.Now()) - p.CreatedAt)
+	r.pool.Put(p)
 }
 
 // every wraps Engine.Every so a drained run can cancel every periodic

@@ -50,6 +50,18 @@ type station struct {
 	// onServed fires at service completion with the served packet.
 	onServed func(*packet.Packet)
 
+	// release, when non-nil, returns a packet the station conclusively
+	// dropped (ring tail-drop, fault drop, failed rehome) to the run's
+	// packet pool. Ownership rule: a packet handed to enqueue is owned by
+	// the station until it is either delivered via onServed or released
+	// here — callers must not touch it after a false return.
+	release func(*packet.Packet)
+
+	// serveCall and completeCall are the pre-bound event handlers of the
+	// hot path (closure-free scheduling; see sim.ScheduleCall).
+	serveCall    sim.Call
+	completeCall sim.Call
+
 	// Accounting.
 	pktsDone  uint64
 	bytesDone uint64
@@ -66,8 +78,18 @@ type station struct {
 	windowBytes int64
 }
 
+// maxCores bounds a station's server count so a core index packs into the
+// low byte of a completion event's scalar argument (gen<<coreBits | core).
+const (
+	coreBits = 8
+	maxCores = 1 << coreBits
+)
+
 func newStation(eng *sim.Engine, name string, prof platform.FnProfile, ringSize int, seed int64) *station {
-	return &station{
+	if prof.Servers > maxCores {
+		panic("server: station core count exceeds completion-event packing range")
+	}
+	s := &station{
 		eng:          eng,
 		name:         name,
 		prof:         prof,
@@ -79,6 +101,12 @@ func newStation(eng *sim.Engine, name string, prof platform.FnProfile, ringSize 
 		inflight:     make([]*packet.Packet, prof.Servers),
 		inflightDone: make([]sim.Time, prof.Servers),
 	}
+	// Bind the event handlers once: scheduling a poll or a completion then
+	// carries (handler, packet, packed scalar) by value instead of
+	// capturing a fresh closure per packet.
+	s.serveCall = func(_ any, core int64) { s.serve(int(core)) }
+	s.completeCall = s.completeServe
+	return s
 }
 
 // enqueue delivers p to the station's RSS queue, returning false on a tail
@@ -97,6 +125,7 @@ func (s *station) enqueue(p *packet.Packet) bool {
 		alive := s.nextAlive(core)
 		if alive < 0 {
 			s.faultDrops++
+			s.releasePkt(p)
 			return false
 		}
 		core = alive
@@ -105,15 +134,25 @@ func (s *station) enqueue(p *packet.Packet) bool {
 }
 
 // enqueueCore places p on core's ring, starting the core if it was idle.
+// A false return means the packet was dropped (ring full or ring fault)
+// and, when pooling is on, already released — the caller no longer owns it.
 func (s *station) enqueueCore(p *packet.Packet, core int, penalty sim.Time) bool {
 	if !s.port.Queue(core).Enqueue(p) {
+		s.releasePkt(p)
 		return false
 	}
 	if !s.busy[core] && !s.dead[core] {
 		s.busy[core] = true
-		s.eng.Schedule(penalty, func() { s.serve(core) })
+		s.eng.ScheduleCall(penalty, s.serveCall, nil, int64(core))
 	}
 	return true
+}
+
+// releasePkt returns a dropped packet to the run's pool, if pooling is on.
+func (s *station) releasePkt(p *packet.Packet) {
+	if s.release != nil {
+		s.release(p)
+	}
 }
 
 // nextAlive returns the first alive core at or after from (wrapping), or
@@ -158,20 +197,30 @@ func (s *station) serve(core int) {
 	s.busyTime += st
 	s.inflight[core] = p
 	s.inflightDone[core] = s.eng.Now() + st
-	g := s.gen[core]
-	s.eng.Schedule(st, func() {
-		if s.gen[core] != g {
-			return // core crashed mid-service; packet already re-homed
-		}
-		s.inflight[core] = nil
-		s.pktsDone++
-		s.bytesDone += uint64(p.WireLen)
-		s.windowBytes += int64(p.WireLen)
-		if s.onServed != nil {
-			s.onServed(p)
-		}
-		s.serve(core)
-	})
+	// Completion carries (packet, gen<<coreBits|core) by value — no
+	// captured closure, no per-packet allocation.
+	s.eng.ScheduleCall(st, s.completeCall, p, int64(s.gen[core])<<coreBits|int64(core))
+}
+
+// completeServe fires when core finishes serving p. The packed scalar
+// holds the core index and the generation the service started under; a
+// crash between service start and completion bumps the generation, which
+// voids the stale completion (the packet was re-homed or dropped at crash
+// time).
+func (s *station) completeServe(arg any, n int64) {
+	core := int(n & (maxCores - 1))
+	if s.gen[core] != uint64(n)>>coreBits {
+		return // core crashed mid-service; packet already re-homed
+	}
+	p := arg.(*packet.Packet)
+	s.inflight[core] = nil
+	s.pktsDone++
+	s.bytesDone += uint64(p.WireLen)
+	s.windowBytes += int64(p.WireLen)
+	if s.onServed != nil {
+		s.onServed(p)
+	}
+	s.serve(core)
 }
 
 // failCore kills one core: its in-flight packet and ring backlog are
@@ -212,7 +261,7 @@ func (s *station) recoverCore(core int) {
 	s.dead[core] = false
 	if s.port.Queue(core).Count() > 0 && !s.busy[core] {
 		s.busy[core] = true
-		s.eng.Schedule(0, func() { s.serve(core) })
+		s.eng.ScheduleCall(0, s.serveCall, nil, int64(core))
 	}
 	if s.onCapacity != nil {
 		s.onCapacity(s.aliveCores(), len(s.busy))
@@ -226,6 +275,7 @@ func (s *station) rehome(p *packet.Packet) {
 	alive := s.nextAlive(int(h % uint64(len(s.busy))))
 	if alive < 0 {
 		s.faultDrops++
+		s.releasePkt(p)
 		return
 	}
 	s.requeued++

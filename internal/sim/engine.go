@@ -5,10 +5,18 @@
 // same inputs bit-for-bit reproducible. The engine is deliberately
 // single-threaded: simulated concurrency comes from interleaved events, not
 // goroutines, so there are no data races and no timing nondeterminism.
+//
+// The event queue is a hand-rolled 4-ary min-heap of value-type events: no
+// container/heap interface boxing, no per-event pointer, no per-event heap
+// allocation. The heap's backing array doubles as the engine-owned event
+// free-list — slots vacated by fired events are reused in place and the
+// array's capacity is retained across Run/RunUntil cycles, so a steady-state
+// simulation schedules millions of events with zero allocations. Hot paths
+// should prefer ScheduleCall/AtCall, which carry a pre-bound handler plus
+// two argument words instead of a freshly captured closure.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
@@ -37,36 +45,35 @@ func (t Time) String() string {
 	return time.Duration(t).String()
 }
 
-// event is a scheduled callback.
+// Call is the closure-free event handler form: a pre-bound function invoked
+// with the two argument words the event carries. arg is a pointer-shaped
+// payload (boxing a pointer into an interface does not allocate); n is a
+// scalar for indices, generations, sizes.
+type Call func(arg any, n int64)
+
+// event is a scheduled callback, stored by value inside the heap array.
+// Exactly one of fn (cold path, captured closure) or call (hot path,
+// pre-bound handler + argument words) is set.
 type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among same-time events
-	fn  func()
+	at   Time
+	seq  uint64 // tie-break: FIFO among same-time events
+	fn   func()
+	call Call
+	arg  any
+	n    int64
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports heap ordering: earliest time first, FIFO within a time.
+func (ev *event) before(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return ev.seq < o.seq
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	heap      eventHeap
+	heap      []event
 	now       Time
 	seq       uint64
 	processed uint64
@@ -100,7 +107,97 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.heap, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
+}
+
+// ScheduleCall runs call(arg, n) after delay. It is the allocation-free
+// alternative to Schedule: the caller passes a handler bound once (a struct
+// field, not a fresh closure or method value) plus the per-event arguments,
+// so scheduling a packet event costs no heap allocation at all.
+func (e *Engine) ScheduleCall(delay Time, call Call, arg any, n int64) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", delay))
+	}
+	e.AtCall(e.now+delay, call, arg, n)
+}
+
+// AtCall runs call(arg, n) at absolute time t; the closure-free form of At.
+func (e *Engine) AtCall(t Time, call Call, arg any, n int64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
+	}
+	e.seq++
+	e.push(event{at: t, seq: e.seq, call: call, arg: arg, n: n})
+}
+
+// push appends ev and sifts it up the 4-ary heap.
+func (e *Engine) push(ev event) {
+	e.heap = append(e.heap, ev)
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the root event. The vacated tail slot is zeroed
+// so the retained backing array (the event free-list) pins no closures,
+// handlers, or packets for the garbage collector.
+func (e *Engine) pop() event {
+	h := e.heap
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	e.heap = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places ev starting from the root of the 4-ary heap.
+func (e *Engine) siftDown(ev event) {
+	h := e.heap
+	n := len(h)
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if h[j].before(&h[best]) {
+				best = j
+			}
+		}
+		if !h[best].before(&ev) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = ev
+}
+
+// dispatch fires one event.
+func (ev *event) dispatch() {
+	if ev.call != nil {
+		ev.call(ev.arg, ev.n)
+		return
+	}
+	ev.fn()
 }
 
 // Stop makes the current Run/RunUntil return after the in-flight event
@@ -114,15 +211,14 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		next := e.heap[0]
-		if next.at > deadline {
+		if e.heap[0].at > deadline {
 			e.now = deadline
 			return
 		}
-		heap.Pop(&e.heap)
-		e.now = next.at
+		ev := e.pop()
+		e.now = ev.at
 		e.processed++
-		next.fn()
+		ev.dispatch()
 	}
 	if e.now < deadline && !e.stopped {
 		e.now = deadline
@@ -134,10 +230,10 @@ func (e *Engine) RunUntil(deadline Time) {
 func (e *Engine) Run() {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		next := heap.Pop(&e.heap).(*event)
-		e.now = next.at
+		ev := e.pop()
+		e.now = ev.at
 		e.processed++
-		next.fn()
+		ev.dispatch()
 	}
 }
 
@@ -152,6 +248,8 @@ func (t *Ticker) Cancel() { t.cancelled = true }
 
 // Every schedules fn to run every period, starting one period from now.
 // It returns a Ticker whose Cancel method stops the repetition.
+// The tick closure is allocated once per Every call; re-arming it each
+// period schedules an existing func value and therefore does not allocate.
 func (e *Engine) Every(period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %d", period))

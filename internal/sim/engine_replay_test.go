@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// refEngine is a straight container/heap event loop with the exact semantics
+// the pointer-heap engine had before the value-heap rewrite: a min-heap of
+// *refEvent ordered by (at, seq). It exists only as the oracle for
+// TestReplayAgainstReferenceHeap.
+type refEvent struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int      { return len(h) }
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h *refHeap) Push(x any) { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+type refEngine struct {
+	h   refHeap
+	now Time
+	seq uint64
+}
+
+func (r *refEngine) Schedule(delay Time, fn func()) {
+	heap.Push(&r.h, &refEvent{at: r.now + delay, seq: r.seq, fn: fn})
+	r.seq++
+}
+
+func (r *refEngine) Run() {
+	for len(r.h) > 0 {
+		ev := heap.Pop(&r.h).(*refEvent)
+		r.now = ev.at
+		ev.fn()
+	}
+}
+
+// firing records one event execution for trace comparison.
+type firing struct {
+	id int
+	at Time
+}
+
+// buildWorkload arms a randomized self-spawning schedule on an engine
+// abstracted as (schedule, now): every fired event records itself and spawns
+// up to two children at small random delays until the budget is exhausted.
+// Delays are drawn from a narrow range so same-timestamp ties — where the
+// FIFO seq tie-break is the only thing keeping order deterministic — are
+// abundant. The rng is consulted in event-execution order, so two engines
+// produce identical traces iff they fire events in the identical order.
+func buildWorkload(schedule func(Time, func()), now func() Time, seed int64, budget int) *[]firing {
+	rng := rand.New(rand.NewSource(seed))
+	trace := make([]firing, 0, budget)
+	created := 0
+	var spawn func()
+	spawn = func() {
+		if created >= budget {
+			return
+		}
+		id := created
+		created++
+		delay := Time(rng.Intn(48))
+		schedule(delay, func() {
+			trace = append(trace, firing{id, now()})
+			spawn()
+			spawn()
+		})
+	}
+	for i := 0; i < 16; i++ {
+		spawn()
+	}
+	return &trace
+}
+
+// TestReplayAgainstReferenceHeap replays a randomized 100k-event schedule
+// (heavy on same-timestamp ties, children scheduled from inside handlers)
+// on the value-heap engine and on a container/heap reference, and demands
+// the firing traces match event for event. The engine run alternates
+// Schedule and ScheduleCall so both hot paths feed the same heap.
+func TestReplayAgainstReferenceHeap(t *testing.T) {
+	const budget = 100_000
+	for _, seed := range []int64{1, 7, 42} {
+		ref := &refEngine{}
+		want := buildWorkload(ref.Schedule, func() Time { return ref.now }, seed, budget)
+		ref.Run()
+
+		e := NewEngine()
+		var nth int
+		trampoline := Call(func(arg any, _ int64) { arg.(func())() })
+		schedule := func(delay Time, fn func()) {
+			nth++
+			if nth%2 == 0 {
+				e.ScheduleCall(delay, trampoline, fn, 0)
+			} else {
+				e.Schedule(delay, fn)
+			}
+		}
+		got := buildWorkload(schedule, e.Now, seed, budget)
+		e.Run()
+
+		if len(*got) != budget || len(*want) != budget {
+			t.Fatalf("seed %d: trace lengths %d/%d, want %d", seed, len(*got), len(*want), budget)
+		}
+		for i := range *want {
+			if (*got)[i] != (*want)[i] {
+				t.Fatalf("seed %d: traces diverge at event %d: engine fired %+v, reference fired %+v",
+					seed, i, (*got)[i], (*want)[i])
+			}
+		}
+	}
+}
+
+// TestStopDuringRunUntil checks that Stop from inside a handler halts the
+// loop immediately: later events stay queued and the clock stays at the
+// stopping event's timestamp instead of jumping to the deadline.
+func TestStopDuringRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	e.Schedule(10, func() { fired = append(fired, e.Now()) })
+	e.Schedule(20, func() {
+		fired = append(fired, e.Now())
+		e.Stop()
+	})
+	e.Schedule(30, func() { fired = append(fired, e.Now()) })
+	e.RunUntil(100)
+	if len(fired) != 2 || fired[1] != 20 {
+		t.Fatalf("fired = %v, want [10 20]", fired)
+	}
+	if e.Now() != 20 {
+		t.Fatalf("Now = %d, want 20 (stopped, not clamped to deadline)", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	// Resuming runs the remaining event and then clamps to the horizon.
+	e.RunUntil(100)
+	if len(fired) != 3 || fired[2] != 30 || e.Now() != 100 {
+		t.Fatalf("after resume: fired = %v, Now = %d; want [10 20 30], 100", fired, e.Now())
+	}
+}
+
+// TestTickerCancelMidTick cancels a ticker from inside its own callback:
+// the in-flight tick completes and nothing re-arms.
+func TestTickerCancelMidTick(t *testing.T) {
+	e := NewEngine()
+	var ticks int
+	var tk *Ticker
+	tk = e.Every(10, func() {
+		ticks++
+		if ticks == 2 {
+			tk.Cancel()
+		}
+	})
+	e.Run()
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2 (cancelled mid-tick)", ticks)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0 (cancelled ticker must not re-arm)", e.Pending())
+	}
+}
+
+// TestFreeListReuseAfterRun verifies the value heap's retained capacity acts
+// as the event free-list: once a first Run has sized the slice, further
+// schedule/run cycles of the same fan-out allocate nothing.
+func TestFreeListReuseAfterRun(t *testing.T) {
+	e := NewEngine()
+	noop := Call(func(any, int64) {})
+	cycle := func() {
+		for i := 0; i < 256; i++ {
+			e.ScheduleCall(Time(i%17), noop, nil, int64(i))
+		}
+		e.Run()
+	}
+	cycle() // size the heap's backing array
+	if avg := testing.AllocsPerRun(100, cycle); avg != 0 {
+		t.Fatalf("schedule+run cycle allocates %v per run after warm-up, want 0", avg)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", e.Pending())
+	}
+}
+
+// BenchmarkEngineScheduleCall measures the closure-free hot path.
+func BenchmarkEngineScheduleCall(b *testing.B) {
+	e := NewEngine()
+	noop := Call(func(any, int64) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleCall(Time(i%1000), noop, nil, int64(i))
+		if e.Pending() > 10000 {
+			e.Run()
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,40 @@
+package stats
+
+import "testing"
+
+// TestRecordPathsAllocationFree pins the hot record paths — the ones called
+// once per packet or once per monitor tick during a run — at zero
+// allocations, so a stats change can't silently reintroduce per-packet
+// garbage into the simulator's hot loop. (Exact.Record is excluded: it
+// appends by design and is only used by bounded, off-hot-path collectors.)
+func TestRecordPathsAllocationFree(t *testing.T) {
+	h := NewHistogram()
+	m := NewRateMeter(int64(1e6))
+	e := NewEWMA(0.2)
+	var w Welford
+	// Warm up so lazily sized internals (histogram buckets) exist.
+	h.Record(12345)
+	h.RecordN(99, 3)
+	m.Add(1)
+	m.Roll()
+	e.Update(1.0)
+	w.Add(1.0)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"Histogram.Record", func() { h.Record(987654) }},
+		{"Histogram.RecordN", func() { h.RecordN(321, 7) }},
+		{"Histogram.Quantile", func() { _ = h.Quantile(0.99) }},
+		{"RateMeter.Add", func() { m.Add(5) }},
+		{"RateMeter.Roll", func() { _ = m.Roll() }},
+		{"EWMA.Update", func() { _ = e.Update(2.5) }},
+		{"Welford.Add", func() { w.Add(3.5) }},
+	}
+	for _, c := range cases {
+		if avg := testing.AllocsPerRun(200, c.fn); avg != 0 {
+			t.Errorf("%s allocates %v per call, want 0", c.name, avg)
+		}
+	}
+}
