@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -32,11 +33,17 @@ type benchSnapshot struct {
 	Results   []benchResult `json:"results"`
 }
 
+// regressionLimit is how much a benchmark's ns/op may grow over the
+// baseline before the comparison fails the run.
+const regressionLimit = 0.25
+
 // runBenchSuite measures the regression-sentinel benchmarks (the three
 // ModeNAT80G modes and the Table V matrix, mirroring bench_test.go) with
 // testing.Benchmark and writes a JSON snapshot next to the ASCII summary.
-// quick shrinks simulated durations so a CI run finishes in seconds.
-func runBenchSuite(opt experiments.Options, quick bool, outPath string) error {
+// quick shrinks simulated durations so a CI run finishes in seconds. With a
+// baseline snapshot the run also prints per-benchmark deltas and fails on a
+// regression beyond regressionLimit.
+func runBenchSuite(opt experiments.Options, quick bool, outPath, baselinePath string) error {
 	runDur := 20 * sim.Millisecond
 	t5 := opt
 	t5.Duration, t5.TraceDuration = 20*sim.Millisecond, 40*sim.Millisecond
@@ -116,5 +123,67 @@ func runBenchSuite(opt experiments.Options, quick bool, outPath string) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", outPath)
+
+	if baselinePath != "" {
+		return compareBaseline(snap, baselinePath)
+	}
+	return nil
+}
+
+// compareBaseline diffs the fresh snapshot against a stored one: one line
+// per shared benchmark with the ns/op and allocs/op deltas, then an error
+// if any ns/op grew beyond regressionLimit. Allocation growth on the
+// pinned-zero benchmarks is always a failure — the zero-alloc hot path is
+// a correctness property here, not a performance preference.
+func compareBaseline(cur benchSnapshot, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	var base benchSnapshot
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-baseline %s: %w", baselinePath, err)
+	}
+	if base.Quick != cur.Quick {
+		fmt.Printf("note: baseline quick=%v, this run quick=%v — deltas are indicative only\n",
+			base.Quick, cur.Quick)
+	}
+	baseBy := make(map[string]benchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+
+	var regressed []string
+	fmt.Printf("vs %s:\n", baselinePath)
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Printf("%-18s (new — no baseline entry)\n", r.Name)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = (r.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		mark := ""
+		if delta > regressionLimit {
+			mark = "  <-- REGRESSION"
+			regressed = append(regressed, fmt.Sprintf("%s ns/op %+.1f%%", r.Name, delta*100))
+		}
+		allocNote := ""
+		if r.AllocsPerOp != b.AllocsPerOp {
+			allocNote = fmt.Sprintf("  allocs %d -> %d", b.AllocsPerOp, r.AllocsPerOp)
+			if b.AllocsPerOp == 0 && r.AllocsPerOp > 0 {
+				regressed = append(regressed, fmt.Sprintf("%s allocs/op 0 -> %d", r.Name, r.AllocsPerOp))
+				mark = "  <-- REGRESSION"
+			}
+		}
+		fmt.Printf("%-18s %14.0f ns/op  %+7.1f%%%s%s\n", r.Name, r.NsPerOp, delta*100, allocNote, mark)
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("benchmark regression over %s: %s",
+			baselinePath, strings.Join(regressed, "; "))
+	}
+	fmt.Printf("no regression beyond %.0f%%\n", regressionLimit*100)
 	return nil
 }

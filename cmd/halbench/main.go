@@ -13,6 +13,9 @@
 // benchmarks (ModeNAT80G per mode, Table V) under testing.Benchmark and
 // writes a BENCH_*.json snapshot (override the path with -benchout); CI
 // runs `halbench -quick bench` and archives the snapshot per commit.
+// Passing -baseline BENCH_x.json additionally diffs the fresh snapshot
+// against the stored one and exits nonzero on a >25% ns/op regression (or
+// any allocation growth on a previously zero-alloc benchmark).
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"halsim/internal/experiments"
 	"halsim/internal/server"
 	"halsim/internal/sim"
+	"halsim/internal/version"
 )
 
 var emitCSV bool
@@ -47,13 +51,19 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchOut := flag.String("benchout", "", "bench: JSON snapshot path (default BENCH_<timestamp>.json)")
+	baseline := flag.String("baseline", "", "bench: compare against this BENCH_*.json snapshot; exit nonzero on a >25% ns/op regression")
+	showVersion := flag.Bool("version", false, "print the build commit and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("halbench %s\n", version.String())
+		return
+	}
 	emitCSV = *csv
 	// run returns instead of calling os.Exit so the profile defers flush.
-	os.Exit(run(*quick, *seed, *cpuprofile, *memprofile, *benchOut, flag.Args()))
+	os.Exit(run(*quick, *seed, *cpuprofile, *memprofile, *benchOut, *baseline, flag.Args()))
 }
 
-func run(quick bool, seed int64, cpuprofile, memprofile, benchOut string, names []string) int {
+func run(quick bool, seed int64, cpuprofile, memprofile, benchOut, baseline string, names []string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -223,7 +233,7 @@ func run(quick bool, seed int64, cpuprofile, memprofile, benchOut string, names 
 		},
 	}
 	runners["bench"] = func(o experiments.Options) error {
-		return runBenchSuite(o, quick, benchOut)
+		return runBenchSuite(o, quick, benchOut, baseline)
 	}
 	order := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig5", "fig8", "fig9", "tab5", "fig10", "costs", "ablation", "faults", "validate"}
 

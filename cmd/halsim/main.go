@@ -8,11 +8,14 @@
 //	halsim -mode hal -fn Count -workload hadoop -cxl
 //	halsim -mode slb -fn NAT -rate 80 -slb-cores 4 -slb-th 20
 //	halsim -mode hal -fn NAT -rate 60 -fault core-crash -fault-cores 4
+//	halsim -mode hal -fn NAT -rate 80 -timeline run.csv -trace-out run.trace.json
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -22,7 +25,9 @@ import (
 	"halsim/internal/nf"
 	"halsim/internal/server"
 	"halsim/internal/sim"
+	"halsim/internal/telemetry"
 	"halsim/internal/trace"
+	"halsim/internal/version"
 )
 
 func main() {
@@ -45,8 +50,21 @@ func main() {
 		faultFor   = flag.Duration("fault-for", 100*time.Millisecond, "fault duration")
 		faultCores = flag.Int("fault-cores", 2, "SNIC cores to crash (core-crash fault)")
 		faultDrop  = flag.Float64("fault-drop", 0.2, "drop probability (rx-drop fault)")
+
+		timelineCSV  = flag.String("timeline", "", "write the per-tick time series as CSV to this file")
+		timelineJSON = flag.String("timeline-json", "", "write the time series (plus latency buckets) as JSON")
+		timelinePer  = flag.Duration("timeline-period", 0, "timeline sampling period (default 100us)")
+		traceOut     = flag.String("trace-out", "", "write a sampled packet-lifecycle trace (Chrome trace-event JSON, loadable in Perfetto)")
+		traceEvery   = flag.Int("trace-every", 64, "trace 1-in-N packets (with -trace-out)")
+		metricsOut   = flag.String("metrics-out", "", "write the final counter registry in Prometheus text format ('-' for stdout)")
+		telAddr      = flag.String("telemetry-addr", "", "serve live /metrics on this address while the run executes")
+		showVersion  = flag.Bool("version", false, "print the build commit and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("halsim %s\n", version.String())
+		return
+	}
 
 	cfg := server.Config{FnConfig: *fnCfg, Seed: *seed, Functional: *function}
 	switch strings.ToLower(*modeFlag) {
@@ -61,17 +79,17 @@ func main() {
 		cfg.SLBCores = *slbCores
 		cfg.SLBFwdThGbps = *slbTh
 	default:
-		fail("unknown mode %q", *modeFlag)
+		usageErr("unknown mode %q (want host, snic, hal, or slb)", *modeFlag)
 	}
 	fn, err := nf.ParseID(*fnFlag)
 	if err != nil {
-		fail("%v", err)
+		usageErr("%v", err)
 	}
 	cfg.Fn = fn
 	if *pipe != "" {
 		p, err := nf.ParseID(*pipe)
 		if err != nil {
-			fail("%v", err)
+			usageErr("%v", err)
 		}
 		cfg.PipelineOn = true
 		cfg.Pipeline = p
@@ -80,11 +98,43 @@ func main() {
 		cfg.Fabric = cxl.NewFabric(cxl.CXL, 2)
 	}
 
+	// Observability: any telemetry output flag opts the run into the
+	// corresponding collector; with none of them the layer stays off.
+	if *timelineCSV != "" || *timelineJSON != "" {
+		cfg.Telemetry.Timeline = true
+		cfg.Telemetry.TimelinePeriod = sim.Duration(*timelinePer)
+	}
+	if *traceOut != "" {
+		cfg.Telemetry.TraceEvery = *traceEvery
+		if *traceEvery < 1 {
+			usageErr("-trace-every must be >= 1, got %d", *traceEvery)
+		}
+	}
+	if *telAddr != "" || *metricsOut != "" {
+		// A live endpoint or a text dump needs the registry even when no
+		// timeline was asked for; a shared registry serves both.
+		if cfg.Telemetry.Registry == nil {
+			cfg.Telemetry.Registry = telemetry.NewRegistry()
+		}
+		if !cfg.Telemetry.Enabled() {
+			cfg.Telemetry.Timeline = true // drives the per-tick sampler
+		}
+	}
+	if *telAddr != "" {
+		srv := &http.Server{Addr: *telAddr, Handler: cfg.Telemetry.Registry.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "halsim: -telemetry-addr: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "halsim: serving metrics on http://%s/metrics\n", *telAddr)
+	}
+
 	rc := server.RunConfig{Duration: sim.Duration(*duration), RateGbps: *rate}
 	if *workload != "" {
 		w, err := trace.ParseWorkload(strings.ToLower(*workload))
 		if err != nil {
-			fail("%v", err)
+			usageErr("%v", err)
 		}
 		rc.Workload = &w
 	}
@@ -107,7 +157,7 @@ func main() {
 		case "accel-degrade":
 			plan.DegradeSNICAccel(from, until)
 		default:
-			fail("unknown fault %q (want core-crash, rx-drop, telemetry, or accel-degrade)", *faultKind)
+			usageErr("unknown fault %q (want core-crash, rx-drop, telemetry, or accel-degrade)", *faultKind)
 		}
 		cfg.Faults = plan
 		// Mark the fault window so the report can show before/during/after,
@@ -162,9 +212,54 @@ func main() {
 			res.SentAll, res.CompletedAll, res.DroppedAll, res.InFlightEnd)
 	}
 	fmt.Printf("  [%d packets simulated in %v]\n", res.Sent, time.Since(start).Round(time.Millisecond))
+
+	writeArtifacts(res, *timelineCSV, *timelineJSON, *traceOut, *metricsOut)
+}
+
+// writeArtifacts exports the run's telemetry artifacts to the requested
+// files ("-" means stdout).
+func writeArtifacts(res server.Result, csvPath, jsonPath, tracePath, metricsPath string) {
+	write := func(path, what string, fn func(w io.Writer) error) {
+		if path == "" {
+			return
+		}
+		f := os.Stdout
+		if path != "-" {
+			var err error
+			f, err = os.Create(path)
+			if err != nil {
+				fail("-%s: %v", what, err)
+			}
+			defer f.Close()
+		}
+		if err := fn(f); err != nil {
+			fail("-%s: %v", what, err)
+		}
+		if path != "-" {
+			fmt.Printf("  wrote %s\n", path)
+		}
+	}
+	if res.Timeline != nil {
+		write(csvPath, "timeline", res.Timeline.WriteCSV)
+		write(jsonPath, "timeline-json", res.Timeline.WriteJSON)
+	}
+	if res.Trace != nil {
+		write(tracePath, "trace-out", res.Trace.WriteTrace)
+	}
+	if res.Metrics != nil {
+		write(metricsPath, "metrics-out", res.Metrics.WriteText)
+	}
 }
 
 func fail(format string, args ...interface{}) {
 	fmt.Fprintf(os.Stderr, "halsim: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// usageErr reports a bad invocation: the message, then the flag summary,
+// then exit status 2 (the flag package's own convention for usage errors).
+func usageErr(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "halsim: "+format+"\n\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

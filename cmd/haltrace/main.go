@@ -15,17 +15,23 @@ import (
 
 	"halsim/internal/stats"
 	"halsim/internal/trace"
+	"halsim/internal/version"
 )
 
 func main() {
 	var (
-		workload = flag.String("workload", "", "limit to one workload (default: all)")
-		epochs   = flag.Int("epochs", 10000, "epochs to synthesize")
-		seed     = flag.Int64("seed", 1, "generator seed")
-		plot     = flag.Bool("plot", false, "print an ASCII rate strip of the first 60 epochs")
-		fit      = flag.Bool("fit", false, "re-fit lognormal (mu, sigma) to the synthesized trace")
+		workload    = flag.String("workload", "", "limit to one workload (default: all)")
+		epochs      = flag.Int("epochs", 10000, "epochs to synthesize")
+		seed        = flag.Int64("seed", 1, "generator seed")
+		plot        = flag.Bool("plot", false, "print an ASCII rate strip of the first 60 epochs")
+		fit         = flag.Bool("fit", false, "re-fit lognormal (mu, sigma) to the synthesized trace")
+		showVersion = flag.Bool("version", false, "print the build commit and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("haltrace %s\n", version.String())
+		return
+	}
 
 	ws := trace.Workloads
 	if *workload != "" {
@@ -37,7 +43,8 @@ func main() {
 		case "hadoop":
 			ws = []trace.Workload{trace.Hadoop}
 		default:
-			fmt.Fprintf(os.Stderr, "haltrace: unknown workload %q\n", *workload)
+			fmt.Fprintf(os.Stderr, "haltrace: unknown workload %q (want web, cache, or hadoop)\n\n", *workload)
+			flag.Usage()
 			os.Exit(2)
 		}
 	}

@@ -27,6 +27,7 @@ import (
 	"halsim/internal/platform"
 	"halsim/internal/server"
 	"halsim/internal/sim"
+	"halsim/internal/telemetry"
 	"halsim/internal/trace"
 )
 
@@ -121,6 +122,30 @@ func NewFaultPlan(seed int64) *FaultPlan { return fault.NewPlan(seed) }
 // PhaseStats are the per-window metrics of a phased run (Result.Phases,
 // cut at RunConfig.PhaseMarks).
 type PhaseStats = server.PhaseStats
+
+// TelemetryConfig opts a run into the observability layer via
+// Config.Telemetry: a per-tick time series (Result.Timeline), sampled
+// packet-lifecycle tracing (Result.Trace, Chrome trace-event JSON), and a
+// Prometheus-style metric registry (Result.Metrics). The zero value keeps
+// every collector off at zero cost, and enabling them never changes the
+// simulation's Result — telemetry is read-only.
+type TelemetryConfig = telemetry.Config
+
+// Timeline is the per-tick time-series ring a telemetry-enabled run
+// returns; export it with WriteCSV or WriteJSON.
+type Timeline = telemetry.Timeline
+
+// Tracer holds the sampled packet-lifecycle spans; export with WriteTrace
+// (loadable in Perfetto or chrome://tracing).
+type Tracer = telemetry.Tracer
+
+// MetricRegistry is the run's named counter/gauge set; export with
+// WriteText or serve it live via Handler.
+type MetricRegistry = telemetry.Registry
+
+// NewMetricRegistry builds a standalone registry, e.g. to share one
+// /metrics endpoint across sequential runs via TelemetryConfig.Registry.
+func NewMetricRegistry() *MetricRegistry { return telemetry.NewRegistry() }
 
 // Platform is a processor-complex model (service profiles + power).
 type Platform = platform.Platform

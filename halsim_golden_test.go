@@ -19,8 +19,10 @@ var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the 
 // byte-exact: any change to event ordering, RNG draw order, or arithmetic
 // shows up as a diff. The fixture was generated from the pre-pooling,
 // container/heap-based engine and must keep matching after hot-path
-// refactors.
-func goldenRuns(t *testing.T) string {
+// refactors. The telemetry config is applied to every run: the observability
+// layer is read-only by contract, so the SAME fixture must hold whether it
+// is off (zero value) or fully on.
+func goldenRuns(t *testing.T, tel halsim.TelemetryConfig) string {
 	t.Helper()
 	var b strings.Builder
 	line := func(name string, res halsim.Result) {
@@ -34,7 +36,7 @@ func goldenRuns(t *testing.T) string {
 	for _, mode := range []halsim.Mode{halsim.HostOnly, halsim.SNICOnly, halsim.HAL} {
 		for _, fn := range []halsim.FnID{halsim.NAT, halsim.REM} {
 			res, err := halsim.Run(
-				halsim.Config{Mode: mode, Fn: fn, Seed: 7},
+				halsim.Config{Mode: mode, Fn: fn, Seed: 7, Telemetry: tel},
 				halsim.RunConfig{Duration: 8 * halsim.Millisecond, RateGbps: 60})
 			if err != nil {
 				t.Fatalf("%v/%v: %v", mode, fn, err)
@@ -45,7 +47,7 @@ func goldenRuns(t *testing.T) string {
 
 	// SLB exercises the forwarding-core path and director credit loop.
 	res, err := halsim.Run(
-		halsim.Config{Mode: halsim.SLB, Fn: halsim.NAT, SLBCores: 1, SLBFwdThGbps: 30, Seed: 7},
+		halsim.Config{Mode: halsim.SLB, Fn: halsim.NAT, SLBCores: 1, SLBFwdThGbps: 30, Seed: 7, Telemetry: tel},
 		halsim.RunConfig{Duration: 8 * halsim.Millisecond, RateGbps: 60})
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +56,7 @@ func goldenRuns(t *testing.T) string {
 
 	// Trace-modulated workload exercises the epoch re-draw path.
 	res, err = halsim.Run(
-		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 7},
+		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 7, Telemetry: tel},
 		halsim.RunConfig{Duration: 16 * halsim.Millisecond, Workload: &halsim.Workloads[2]})
 	if err != nil {
 		t.Fatal(err)
@@ -63,7 +65,7 @@ func goldenRuns(t *testing.T) string {
 
 	// Pipelined two-function setup (two stations per side).
 	res, err = halsim.Run(
-		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Pipeline: halsim.Count, PipelineOn: true, Seed: 7},
+		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Pipeline: halsim.Count, PipelineOn: true, Seed: 7, Telemetry: tel},
 		halsim.RunConfig{Duration: 8 * halsim.Millisecond, RateGbps: 40})
 	if err != nil {
 		t.Fatal(err)
@@ -74,7 +76,7 @@ func goldenRuns(t *testing.T) string {
 	plan := halsim.NewFaultPlan(7).
 		CrashSNICCores(2*halsim.Millisecond, 5*halsim.Millisecond, 2)
 	res, err = halsim.Run(
-		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 7, Faults: plan},
+		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 7, Faults: plan, Telemetry: tel},
 		halsim.RunConfig{Duration: 8 * halsim.Millisecond, RateGbps: 60, Drain: true,
 			PhaseMarks: []halsim.Time{2 * halsim.Millisecond, 5 * halsim.Millisecond}})
 	if err != nil {
@@ -92,7 +94,7 @@ func goldenRuns(t *testing.T) string {
 // fixture: same seed + config must produce byte-identical results across
 // refactors of the hot path (value-type event heap, packet pooling).
 func TestGoldenDeterminism(t *testing.T) {
-	got := goldenRuns(t)
+	got := goldenRuns(t, halsim.TelemetryConfig{})
 	path := filepath.Join("testdata", "golden_runs.txt")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -109,5 +111,25 @@ func TestGoldenDeterminism(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Fatalf("output diverged from golden fixture %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenDeterminismTelemetryOn re-runs the whole battery with every
+// telemetry collector enabled and compares against the SAME fixture: the
+// observability layer must be purely read-only. Its sampling ticks insert
+// extra engine events, but those only read state, so every metric the
+// fixture records is untouched.
+func TestGoldenDeterminismTelemetryOn(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixture is written by TestGoldenDeterminism")
+	}
+	got := goldenRuns(t, halsim.TelemetryConfig{Timeline: true, TraceEvery: 64})
+	path := filepath.Join("testdata", "golden_runs.txt")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("telemetry perturbed the simulation: output diverged from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
 	}
 }

@@ -173,6 +173,19 @@ func (d *TrafficDirector) FwdTh() float64 { return d.fwdThGbps }
 // SetRate installs the monitor's latest Rate_Rx.
 func (d *TrafficDirector) SetRate(gbps float64) { d.rateGbps = gbps }
 
+// RateGbps returns the installed Rate_Rx.
+func (d *TrafficDirector) RateGbps() float64 { return d.rateGbps }
+
+// RateFwdGbps returns the current forwarding rate Rate_Fwd = max(0,
+// Rate_Rx − Fwd_Th) — the paper's Fig. 9 companion signal to Fwd_Th, read
+// by the telemetry timeline once per sample tick.
+func (d *TrafficDirector) RateFwdGbps() float64 {
+	if d.rateGbps <= d.fwdThGbps {
+		return 0
+	}
+	return d.rateGbps - d.fwdThGbps
+}
+
 // Route decides one packet. When it diverts, it rewrites the packet's
 // destination (MAC+IP, checksums updated incrementally) in place and marks
 // it Diverted; the eSwitch then routes it to the host port by address.

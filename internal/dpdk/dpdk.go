@@ -164,6 +164,16 @@ func (p *Port) MaxOccupancy() int {
 	return max
 }
 
+// Occupancies appends every ring's current occupancy to dst (pass dst[:0]
+// of a retained buffer to snapshot without allocating) — the telemetry
+// timeline's per-queue depth export.
+func (p *Port) Occupancies(dst []int) []int {
+	for _, q := range p.queues {
+		dst = append(dst, q.Count())
+	}
+	return dst
+}
+
 // TotalBacklog sums occupancy over all rings.
 func (p *Port) TotalBacklog() int {
 	n := 0

@@ -62,6 +62,10 @@ func (in *Integrator) AvgWatts() float64 {
 func (in *Integrator) PeakWatts() float64   { return in.peakW }
 func (in *Integrator) TroughWatts() float64 { return in.troughW }
 
+// LastWatts returns the most recent sample — the instantaneous power draw
+// the telemetry timeline exports per tick (0 before the first sample).
+func (in *Integrator) LastWatts() float64 { return in.lastW }
+
 // EfficiencyGbpsPerWatt is the paper's energy-efficiency metric:
 // throughput divided by average power.
 func EfficiencyGbpsPerWatt(throughputGbps, avgWatts float64) float64 {

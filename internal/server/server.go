@@ -26,6 +26,7 @@ import (
 	"halsim/internal/platform"
 	"halsim/internal/sim"
 	"halsim/internal/stats"
+	"halsim/internal/telemetry"
 	"halsim/internal/trace"
 
 	// Link in every benchmark function implementation so nf.New works
@@ -138,6 +139,13 @@ type Config struct {
 	// into the run. Same seed + same plan ⇒ identical results.
 	Faults *fault.Plan
 
+	// Telemetry opts into the observability layer: a time-series timeline
+	// (Result.Timeline), sampled packet-lifecycle tracing (Result.Trace),
+	// and a metric registry (Result.Metrics). The zero value disables all
+	// of it at zero cost; enabling it is purely observational — the run's
+	// Result is byte-identical either way.
+	Telemetry telemetry.Config
+
 	RingSize int
 	Seed     int64
 }
@@ -226,6 +234,13 @@ type Result struct {
 	Phases     []PhaseStats
 	RateSeries []float64
 	RateWindow sim.Time
+
+	// Telemetry artifacts, populated per Config.Telemetry (nil when the
+	// corresponding collector was off): the per-tick time-series ring, the
+	// sampled packet-lifecycle trace, and the metric registry.
+	Timeline *telemetry.Timeline
+	Trace    *telemetry.Tracer
+	Metrics  *telemetry.Registry
 }
 
 type sideStations struct {
@@ -384,6 +399,17 @@ type run struct {
 	faultRng      *rand.Rand
 	telemetryDown bool
 
+	// observability (all nil/zero with Config.Telemetry off; every hook
+	// site nil-checks the specific field it feeds)
+	col           *telemetry.Collector
+	tl            *telemetry.Timeline
+	tr            *telemetry.Tracer
+	tm            *telMetrics
+	telPeriod     sim.Time
+	telPrevSNICB  uint64
+	telPrevHostB  uint64
+	telPrevEvents uint64
+
 	// measurement
 	lat          *stats.Histogram
 	powerHost    energy.Integrator
@@ -416,7 +442,15 @@ func (r *run) build() error {
 	r.arriveHostCall = func(a any, _ int64) { r.arriveHost(a.(*packet.Packet)) }
 	r.halIngressCall = func(a any, _ int64) {
 		p := a.(*packet.Packet)
-		r.hal.Ingress(p)
+		diverted := r.hal.Ingress(p)
+		if r.tr.Sampled(p.ID) {
+			kind := telemetry.KindKeep
+			if diverted {
+				kind = telemetry.KindDivert
+			}
+			r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: kind,
+				Station: telemetry.StHLB, Core: -1, Pkt: p.ID})
+		}
 		r.sw.Forward(p)
 	}
 	r.forwardCall = func(a any, _ int64) { r.sw.Forward(a.(*packet.Packet)) }
@@ -620,6 +654,10 @@ func (r *run) build() error {
 	finish(&r.snic, true)
 	finish(&r.host, false)
 
+	// Observability hooks: every station exists by now, so the tracer can
+	// be threaded into each lane.
+	r.buildTelemetry()
+
 	r.lat = stats.NewHistogram()
 	r.warmupEnd = r.rc.Warmup
 
@@ -664,6 +702,10 @@ func (r *run) build() error {
 
 // ingress is the wire→server path.
 func (r *run) ingress(p *packet.Packet) {
+	if r.tr.Sampled(p.ID) {
+		r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindIngress,
+			Station: telemetry.StWire, Core: -1, Pkt: p.ID, Arg: int64(p.WireLen)})
+	}
 	switch r.cfg.Mode {
 	case HAL:
 		r.eng.ScheduleCall(core.IngressLatency, r.halIngressCall, p, 0)
@@ -674,6 +716,10 @@ func (r *run) ingress(p *packet.Packet) {
 
 // arriveSNIC handles a packet reaching the SNIC processor's rings.
 func (r *run) arriveSNIC(p *packet.Packet) {
+	if r.tr.Sampled(p.ID) {
+		r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindArrive,
+			Station: telemetry.StSNIC, Core: -1, Pkt: p.ID})
+	}
 	if r.cfg.Mode == SLB {
 		// The SNIC CPU sees every packet first; SLB decides in software.
 		r.slbMon.Observe(p)
@@ -687,6 +733,10 @@ func (r *run) arriveSNIC(p *packet.Packet) {
 
 // arriveHost handles a packet reaching the host's rings.
 func (r *run) arriveHost(p *packet.Packet) {
+	if r.tr.Sampled(p.ID) {
+		r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindArrive,
+			Station: telemetry.StHost, Core: -1, Pkt: p.ID})
+	}
 	if r.cfg.Mode == SLBHost {
 		// The host CPU sees every packet; its SLB keeps the excess
 		// (Rate_Fwd) and relays the SNIC's share (up to Fwd_Th) over
@@ -749,6 +799,10 @@ func (r *run) complete(p *packet.Packet, onSNIC bool) {
 	if r.cfg.Mode == HAL {
 		r.hal.Egress(resp)
 		egress += core.EgressLatency
+		if !onSNIC && r.tr.Sampled(resp.ID) {
+			r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindMerge,
+				Station: telemetry.StHLB, Core: -1, Pkt: resp.ID})
+		}
 	}
 	r.eng.ScheduleCall(egress, r.forwardCall, resp, 0)
 }
@@ -761,6 +815,14 @@ func (r *run) deliverResponse(p *packet.Packet) {
 	}
 	if sim.Time(p.CreatedAt) >= r.warmupEnd {
 		r.lat.Record(int64(r.eng.Now()) - p.CreatedAt)
+	}
+	if r.tl != nil {
+		r.tl.RecordLatency(int64(r.eng.Now()) - p.CreatedAt)
+	}
+	if r.tr.Sampled(p.ID) {
+		r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindResponse,
+			Station: telemetry.StWire, Core: -1, Pkt: p.ID,
+			Arg: int64(r.eng.Now()) - p.CreatedAt})
 	}
 	r.pool.Put(p)
 }
@@ -842,6 +904,12 @@ func (r *run) start() {
 			ph.powerN++
 		}
 	})
+	// Telemetry sampling tick. Registered after the power ticker so a
+	// same-instant sample reads the power integrators' fresh values (the
+	// engine runs same-time events in registration order).
+	if r.col != nil {
+		r.every(r.telPeriod, r.sampleTelemetry)
+	}
 	// Delivered-rate time series (recovery analysis for fault runs).
 	if r.rc.RateWindow > 0 {
 		r.every(r.rc.RateWindow, func() {
@@ -962,6 +1030,15 @@ func (r *run) collect() Result {
 	}
 	res.RateSeries = r.rateSeries
 	res.RateWindow = r.rc.RateWindow
+
+	if r.col != nil {
+		res.Timeline = r.tl
+		res.Trace = r.tr
+		res.Metrics = r.col.Registry
+		// Final sample so the registry's counters reflect the whole run
+		// (including a trailing partial tick or a drain phase).
+		r.sampleTelemetry()
+	}
 	return res
 }
 

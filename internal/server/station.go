@@ -7,6 +7,7 @@ import (
 	"halsim/internal/packet"
 	"halsim/internal/platform"
 	"halsim/internal/sim"
+	"halsim/internal/telemetry"
 )
 
 // station models one processor complex (SNIC CPU, SNIC accelerator, host
@@ -61,6 +62,11 @@ type station struct {
 	// hot path (closure-free scheduling; see sim.ScheduleCall).
 	serveCall    sim.Call
 	completeCall sim.Call
+
+	// tr, when non-nil, records sampled lifecycle spans (and every drop)
+	// under the telID lane. A nil tr costs one pointer compare per hook.
+	tr    *telemetry.Tracer
+	telID telemetry.StationID
 
 	// Accounting.
 	pktsDone  uint64
@@ -125,6 +131,10 @@ func (s *station) enqueue(p *packet.Packet) bool {
 		alive := s.nextAlive(core)
 		if alive < 0 {
 			s.faultDrops++
+			if s.tr != nil {
+				s.tr.Emit(telemetry.Span{T: s.eng.Now(), Kind: telemetry.KindDrop,
+					Station: s.telID, Core: -1, Pkt: p.ID, Arg: int64(telemetry.DropNoCore)})
+			}
 			s.releasePkt(p)
 			return false
 		}
@@ -137,9 +147,28 @@ func (s *station) enqueue(p *packet.Packet) bool {
 // A false return means the packet was dropped (ring full or ring fault)
 // and, when pooling is on, already released — the caller no longer owns it.
 func (s *station) enqueueCore(p *packet.Packet, core int, penalty sim.Time) bool {
-	if !s.port.Queue(core).Enqueue(p) {
+	q := s.port.Queue(core)
+	var preDrops uint64
+	if s.tr != nil {
+		preDrops = q.Drops
+	}
+	if !q.Enqueue(p) {
+		if s.tr != nil {
+			// The ring rejected it for one of two reasons; the tail-drop
+			// counter tells them apart.
+			reason := telemetry.DropRxFault
+			if q.Drops > preDrops {
+				reason = telemetry.DropRingFull
+			}
+			s.tr.Emit(telemetry.Span{T: s.eng.Now(), Kind: telemetry.KindDrop,
+				Station: s.telID, Core: int16(core), Pkt: p.ID, Arg: int64(reason)})
+		}
 		s.releasePkt(p)
 		return false
+	}
+	if s.tr != nil && s.tr.Sampled(p.ID) {
+		s.tr.Emit(telemetry.Span{T: s.eng.Now(), Kind: telemetry.KindEnqueue,
+			Station: s.telID, Core: int16(core), Pkt: p.ID, Arg: int64(q.Count())})
 	}
 	if !s.busy[core] && !s.dead[core] {
 		s.busy[core] = true
@@ -197,6 +226,10 @@ func (s *station) serve(core int) {
 	s.busyTime += st
 	s.inflight[core] = p
 	s.inflightDone[core] = s.eng.Now() + st
+	if s.tr != nil && s.tr.Sampled(p.ID) {
+		s.tr.Emit(telemetry.Span{T: s.eng.Now(), Dur: st, Kind: telemetry.KindServe,
+			Station: s.telID, Core: int16(core), Pkt: p.ID, Arg: int64(p.WireLen)})
+	}
 	// Completion carries (packet, gen<<coreBits|core) by value — no
 	// captured closure, no per-packet allocation.
 	s.eng.ScheduleCall(st, s.completeCall, p, int64(s.gen[core])<<coreBits|int64(core))
@@ -217,6 +250,10 @@ func (s *station) completeServe(arg any, n int64) {
 	s.pktsDone++
 	s.bytesDone += uint64(p.WireLen)
 	s.windowBytes += int64(p.WireLen)
+	if s.tr != nil && s.tr.Sampled(p.ID) {
+		s.tr.Emit(telemetry.Span{T: s.eng.Now(), Kind: telemetry.KindComplete,
+			Station: s.telID, Core: int16(core), Pkt: p.ID})
+	}
 	if s.onServed != nil {
 		s.onServed(p)
 	}
@@ -275,6 +312,10 @@ func (s *station) rehome(p *packet.Packet) {
 	alive := s.nextAlive(int(h % uint64(len(s.busy))))
 	if alive < 0 {
 		s.faultDrops++
+		if s.tr != nil {
+			s.tr.Emit(telemetry.Span{T: s.eng.Now(), Kind: telemetry.KindDrop,
+				Station: s.telID, Core: -1, Pkt: p.ID, Arg: int64(telemetry.DropNoCore)})
+		}
 		s.releasePkt(p)
 		return
 	}

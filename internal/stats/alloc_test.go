@@ -20,6 +20,17 @@ func TestRecordPathsAllocationFree(t *testing.T) {
 	e.Update(1.0)
 	w.Add(1.0)
 
+	// Merge source and ForEachBucket callback are prebound so the pins
+	// measure the methods themselves, not test-harness captures.
+	src := NewHistogram()
+	src.Record(42)
+	src.RecordN(1<<20, 5)
+	var bucketSum uint64
+	visit := func(lo, hi int64, count uint64) bool {
+		bucketSum += count
+		return true
+	}
+
 	cases := []struct {
 		name string
 		fn   func()
@@ -27,6 +38,8 @@ func TestRecordPathsAllocationFree(t *testing.T) {
 		{"Histogram.Record", func() { h.Record(987654) }},
 		{"Histogram.RecordN", func() { h.RecordN(321, 7) }},
 		{"Histogram.Quantile", func() { _ = h.Quantile(0.99) }},
+		{"Histogram.Merge", func() { h.Merge(src) }},
+		{"Histogram.ForEachBucket", func() { h.ForEachBucket(visit) }},
 		{"RateMeter.Add", func() { m.Add(5) }},
 		{"RateMeter.Roll", func() { _ = m.Roll() }},
 		{"EWMA.Update", func() { _ = e.Update(2.5) }},

@@ -225,6 +225,21 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
+// ForEachBucket calls fn for every non-empty bucket in ascending value
+// order with the bucket's inclusive value range [lo, hi] and its count,
+// stopping early when fn returns false. It allocates nothing, so telemetry
+// can snapshot a distribution per window without copying the counts array.
+func (h *Histogram) ForEachBucket(fn func(lo, hi int64, count uint64) bool) {
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if !fn(h.bucketLow(i), h.bucketHigh(i), c) {
+			return
+		}
+	}
+}
+
 // String summarizes the distribution for debugging.
 func (h *Histogram) String() string {
 	if h.total == 0 {

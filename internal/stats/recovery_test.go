@@ -49,3 +49,59 @@ func TestRecoveryTime(t *testing.T) {
 		t.Fatal("empty series")
 	}
 }
+
+// TestRecoveryTimeOverlappingFaults covers fault phases that overlap or
+// chain: a second disruption begins before the first recovers, so the
+// transient bounce between them must not count as recovery from the second.
+func TestRecoveryTimeOverlappingFaults(t *testing.T) {
+	const win = 5
+	// Windows:            0   1   2   3   4   5   6   7   8   9
+	s := []float64{50, 50, 10, 10, 50, 10, 10, 10, 50, 50}
+	// Fault A ends at t=20 (window 4): the bounce at window 4 is a valid
+	// recovery for A even though fault B follows.
+	got, ok := RecoveryTime(s, win, 20, 50, 0.95)
+	if !ok || got != 5 {
+		t.Fatalf("fault A recovery = %v, %v; want 5, true", got, ok)
+	}
+	// Fault B ends at t=40 (window 8). Measured from B's end, the bounce
+	// at window 4 is in the past and must be ignored; window 8 is the
+	// recovery, elapsed 5.
+	got, ok = RecoveryTime(s, win, 40, 50, 0.95)
+	if !ok || got != 5 {
+		t.Fatalf("fault B recovery = %v, %v; want 5, true", got, ok)
+	}
+	// A fault window ending past the series never recovers: the signal
+	// simply was not recorded long enough.
+	if _, ok := RecoveryTime(s, win, 60, 50, 0.95); ok {
+		t.Fatal("recovery reported beyond the recorded series")
+	}
+	// A fault "ending" before the series started (negative end) clamps to
+	// the first window; elapsed is measured from the given instant.
+	got, ok = RecoveryTime(s, win, -10, 50, 0.95)
+	if !ok || got != 15 {
+		t.Fatalf("pre-series fault recovery = %v, %v; want 15, true", got, ok)
+	}
+	// frac > 1 asks for better-than-baseline and here never happens.
+	if _, ok := RecoveryTime(s, win, 20, 50, 1.5); ok {
+		t.Fatal("recovery above an unreachable target")
+	}
+}
+
+// TestWindowMeanOverlappingPhases pins baseline computation when the
+// baseline window overlaps the fault window: the mean must degrade
+// smoothly rather than skip the overlapped samples.
+func TestWindowMeanOverlappingPhases(t *testing.T) {
+	s := []float64{50, 50, 50, 10, 10, 50}
+	// Clean pre-fault baseline.
+	if got := WindowMean(s, 0, 3); got != 50 {
+		t.Fatalf("clean baseline = %v", got)
+	}
+	// Baseline window reaching into the fault mixes both regimes.
+	if got := WindowMean(s, 1, 5); got != 30 {
+		t.Fatalf("overlapped baseline = %v, want 30", got)
+	}
+	// Fully inside the fault.
+	if got := WindowMean(s, 3, 5); got != 10 {
+		t.Fatalf("fault-window mean = %v", got)
+	}
+}

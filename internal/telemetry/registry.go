@@ -1,0 +1,145 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// MetricKind distinguishes monotonic counters from set-anywhere gauges.
+type MetricKind uint8
+
+// Metric kinds.
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+)
+
+func (k MetricKind) String() string {
+	if k == KindCounter {
+		return "counter"
+	}
+	return "gauge"
+}
+
+// MetricID is a handle returned at registration; updates go through it so
+// the per-tick publish path does no map lookups.
+type MetricID int
+
+type metric struct {
+	name string
+	help string
+	kind MetricKind
+	val  float64
+}
+
+// Registry is a static set of named counters and gauges with Prometheus
+// text exposition. Registration happens at run build time; updates happen
+// once per telemetry tick (never per packet), so the mutex that makes the
+// -telemetry-addr HTTP endpoint safe costs nothing on the simulation's hot
+// path.
+type Registry struct {
+	mu      sync.Mutex
+	metrics []metric
+	index   map[string]MetricID
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{index: make(map[string]MetricID)}
+}
+
+// register adds (or re-resolves) a metric by name.
+func (r *Registry) register(name, help string, kind MetricKind) MetricID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.index[name]; ok {
+		return id
+	}
+	id := MetricID(len(r.metrics))
+	r.metrics = append(r.metrics, metric{name: name, help: help, kind: kind})
+	r.index[name] = id
+	return id
+}
+
+// Counter registers a monotonic counter and returns its handle. Registering
+// an existing name returns the existing handle.
+func (r *Registry) Counter(name, help string) MetricID {
+	return r.register(name, help, KindCounter)
+}
+
+// Gauge registers a gauge and returns its handle.
+func (r *Registry) Gauge(name, help string) MetricID {
+	return r.register(name, help, KindGauge)
+}
+
+// Set installs the current value of metric id (gauges, and counters whose
+// source is itself a cumulative total).
+func (r *Registry) Set(id MetricID, v float64) {
+	r.mu.Lock()
+	r.metrics[id].val = v
+	r.mu.Unlock()
+}
+
+// Add increments metric id by v.
+func (r *Registry) Add(id MetricID, v float64) {
+	r.mu.Lock()
+	r.metrics[id].val += v
+	r.mu.Unlock()
+}
+
+// Value returns the current value of metric id.
+func (r *Registry) Value(id MetricID) float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[id].val
+}
+
+// Len returns the registered metric count.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.metrics)
+}
+
+// WriteText emits the Prometheus text exposition format (HELP/TYPE comment
+// pairs followed by the sample line), in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	snapshot := make([]metric, len(r.metrics))
+	copy(snapshot, r.metrics)
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, m := range snapshot {
+		if m.help != "" {
+			if _, err := fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, "%s %s\n", m.name, strconv.FormatFloat(m.val, 'g', -1, 64)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ServeHTTP exposes the registry in Prometheus text format — mount it (or
+// Handler) on the -telemetry-addr endpoint for long runs.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = r.WriteText(w)
+}
+
+// Handler returns a mux serving the registry on /metrics (and on /).
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r)
+	mux.Handle("/", r)
+	return mux
+}

@@ -1,0 +1,34 @@
+// Package version reports the build's VCS identity so every CLI can print
+// a provenance line (-version) and artifacts like bench snapshots can be
+// tied back to a commit.
+package version
+
+import "runtime/debug"
+
+// String returns "commit[-dirty]" from the binary's embedded build info,
+// or "unknown" for builds without VCS stamping (e.g. go test binaries).
+func String() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if modified == "true" {
+		rev += "-dirty"
+	}
+	return rev
+}
