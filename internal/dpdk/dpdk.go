@@ -66,7 +66,13 @@ func (q *RxQueue) Enqueue(p *packet.Packet) bool {
 		q.Drops++
 		return false
 	}
-	q.buf[(q.head+q.count)%len(q.buf)] = p
+	// head < len and count <= len, so one conditional wrap replaces the
+	// integer division a modulo would cost per packet.
+	tail := q.head + q.count
+	if tail >= len(q.buf) {
+		tail -= len(q.buf)
+	}
+	q.buf[tail] = p
 	q.count++
 	q.Enqueued++
 	return true
@@ -95,7 +101,9 @@ func (q *RxQueue) BurstInto(dst []*packet.Packet, max int) []*packet.Packet {
 	for i := 0; i < n; i++ {
 		dst = append(dst, q.buf[q.head])
 		q.buf[q.head] = nil
-		q.head = (q.head + 1) % len(q.buf)
+		if q.head++; q.head == len(q.buf) {
+			q.head = 0
+		}
 	}
 	q.count -= n
 	return dst
@@ -108,7 +116,9 @@ func (q *RxQueue) Pop() *packet.Packet {
 	}
 	p := q.buf[q.head]
 	q.buf[q.head] = nil
-	q.head = (q.head + 1) % len(q.buf)
+	if q.head++; q.head == len(q.buf) {
+		q.head = 0
+	}
 	q.count--
 	return p
 }
@@ -125,6 +135,9 @@ func (q *RxQueue) Cap() int { return len(q.buf) }
 // balances).
 type Port struct {
 	queues []*RxQueue
+	// qmask is len(queues)-1 when the queue count is a power of two
+	// (masking replaces the per-packet modulo in Deliver), -1 otherwise.
+	qmask int
 }
 
 // NewPort creates a port with n rings of the given size.
@@ -132,7 +145,10 @@ func NewPort(n, ringSize int) *Port {
 	if n <= 0 {
 		panic("dpdk: port needs at least one queue")
 	}
-	p := &Port{queues: make([]*RxQueue, n)}
+	p := &Port{queues: make([]*RxQueue, n), qmask: -1}
+	if n&(n-1) == 0 {
+		p.qmask = n - 1
+	}
 	for i := range p.queues {
 		p.queues[i] = NewRxQueue(ringSize)
 	}
@@ -148,6 +164,9 @@ func (p *Port) Queue(i int) *RxQueue { return p.queues[i] }
 // Deliver enqueues pkt on its RSS queue; false means it was tail-dropped.
 func (p *Port) Deliver(pkt *packet.Packet) bool {
 	h := uint64(pkt.SrcPort)<<16 ^ pkt.ID
+	if p.qmask >= 0 {
+		return p.queues[h&uint64(p.qmask)].Enqueue(pkt)
+	}
 	return p.queues[h%uint64(len(p.queues))].Enqueue(pkt)
 }
 

@@ -133,8 +133,12 @@ type gen struct {
 	operandLen int
 }
 
-func (g gen) Next(rng *rand.Rand) []byte {
-	b := make([]byte, 1+g.operandLen)
+func (g gen) Next(rng *rand.Rand) []byte { return g.NextInto(rng, nil) }
+
+// NextInto implements nf.RequestGenInto: every byte of the returned slice
+// is written, so recycled buffers yield the identical request stream.
+func (g gen) NextInto(rng *rand.Rand, buf []byte) []byte {
+	b := nf.Reserve(buf, 1+g.operandLen)
 	switch rng.Intn(3) {
 	case 0:
 		b[0] = byte(AlgRSA)

@@ -96,8 +96,12 @@ type gen struct {
 	keys  int
 }
 
-func (g gen) Next(rng *rand.Rand) []byte {
-	b := make([]byte, g.batch*recLen)
+func (g gen) Next(rng *rand.Rand) []byte { return g.NextInto(rng, nil) }
+
+// NextInto implements nf.RequestGenInto: every byte of the returned slice
+// is written, so recycled buffers yield the identical request stream.
+func (g gen) NextInto(rng *rand.Rand, buf []byte) []byte {
+	b := nf.Reserve(buf, g.batch*recLen)
 	for i := 0; i < g.batch; i++ {
 		rec := b[i*recLen:]
 		binary.BigEndian.PutUint64(rec[0:8], uint64(rng.Intn(g.keys)))

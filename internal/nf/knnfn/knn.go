@@ -161,8 +161,12 @@ func (f *Func) Process(req []byte) ([]byte, error) {
 
 type gen struct{}
 
-func (gen) Next(rng *rand.Rand) []byte {
-	b := make([]byte, 1+4*Dim)
+func (g gen) Next(rng *rand.Rand) []byte { return g.NextInto(rng, nil) }
+
+// NextInto implements nf.RequestGenInto: every byte of the returned slice
+// is written, so recycled buffers yield the identical request stream.
+func (gen) NextInto(rng *rand.Rand, buf []byte) []byte {
+	b := nf.Reserve(buf, 1+4*Dim)
 	b[0] = 5
 	for d := 0; d < Dim; d++ {
 		binary.BigEndian.PutUint32(b[1+4*d:], math.Float32bits(float32(rng.NormFloat64()*10)))

@@ -206,8 +206,12 @@ type gen struct {
 	fill  []byte
 }
 
-func (g gen) Next(rng *rand.Rand) []byte {
-	b := make([]byte, reqLen+len(g.fill))
+func (g gen) Next(rng *rand.Rand) []byte { return g.NextInto(rng, nil) }
+
+// NextInto implements nf.RequestGenInto: every byte of the returned slice
+// is written, so recycled buffers yield the identical request stream.
+func (g gen) NextInto(rng *rand.Rand, buf []byte) []byte {
+	b := nf.Reserve(buf, reqLen+len(g.fill))
 	flow := rng.Intn(g.flows)
 	binary.BigEndian.PutUint32(b[0:4], 0xC0A80000|uint32(flow>>8)) // 192.168.x.x
 	binary.BigEndian.PutUint16(b[4:6], uint16(1024+flow&0xff))

@@ -111,6 +111,28 @@ type RequestGenFunc func(rng *rand.Rand) []byte
 // Next implements RequestGen.
 func (f RequestGenFunc) Next(rng *rand.Rand) []byte { return f(rng) }
 
+// RequestGenInto is optionally implemented by generators that can render a
+// request into a caller-supplied buffer. NextInto must consume rng
+// identically to Next and overwrite every byte it returns, so a stream
+// produced through recycled buffers is byte-for-byte the stream Next would
+// have produced — only the allocations disappear. Implementations reuse buf
+// when its capacity suffices and fall back to allocating otherwise, so nil
+// is always an acceptable buffer.
+type RequestGenInto interface {
+	RequestGen
+	NextInto(rng *rand.Rand, buf []byte) []byte
+}
+
+// Reserve returns buf resliced to n bytes when its capacity allows,
+// otherwise a fresh allocation. NextInto implementations use it as their
+// common prologue.
+func Reserve(buf []byte, n int) []byte {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]byte, n)
+}
+
 // Factory builds a fresh function instance plus a matching request
 // generator. Config strings select the paper's per-function configurations
 // (e.g. "1k"/"10k" NAT entries, "tea"/"lite" rulesets); the empty string

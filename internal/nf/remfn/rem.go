@@ -11,6 +11,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"halsim/internal/nf"
 	"halsim/internal/nf/remfn/ahocorasick"
@@ -58,19 +59,39 @@ func synthesizeRules(count, minLen, maxLen int, seed int64) [][]byte {
 	return rules
 }
 
-// CompileRuleset builds the automaton for a named ruleset.
+// rulesetCache memoizes the compiled automata: the named rulesets are
+// synthesized from fixed seeds, and the Automaton is immutable after
+// Compile and safe for concurrent readers, so every Func of the same
+// ruleset can share one dense DFA. An experiment sweep instantiates the
+// REM function dozens of times; recompiling thousands of patterns per run
+// was pure setup overhead. sync.Map because sweeps build runs in parallel;
+// racing stores compile equal automata and either may win.
+var rulesetCache sync.Map
+
+// CompileRuleset builds (or returns the cached) automaton for a named
+// ruleset.
 func CompileRuleset(rs Ruleset) (*ahocorasick.Automaton, error) {
+	if ac, ok := rulesetCache.Load(rs); ok {
+		return ac.(*ahocorasick.Automaton), nil
+	}
+	var ac *ahocorasick.Automaton
+	var err error
 	switch rs {
 	case RulesetTea:
 		// teakettle_2500: ~2500 short, simple literals.
-		return ahocorasick.Compile(synthesizeRules(2500, 4, 8, 25))
+		ac, err = ahocorasick.Compile(synthesizeRules(2500, 4, 8, 25))
 	case RulesetLite:
 		// snort_literals: thousands of longer, overlapping
 		// signatures — a much larger automaton.
-		return ahocorasick.Compile(synthesizeRules(4000, 6, 16, 97))
+		ac, err = ahocorasick.Compile(synthesizeRules(4000, 6, 16, 97))
 	default:
 		return nil, fmt.Errorf("remfn: unknown ruleset %q", rs)
 	}
+	if err != nil {
+		return nil, err
+	}
+	rulesetCache.Store(rs, ac)
+	return ac, nil
 }
 
 // regexRule couples a compiled regex with its required literal factor: the
@@ -218,9 +239,13 @@ type gen struct {
 	pats [][]byte
 }
 
-func (g gen) Next(rng *rand.Rand) []byte {
+func (g gen) Next(rng *rand.Rand) []byte { return g.NextInto(rng, nil) }
+
+// NextInto implements nf.RequestGenInto: every byte of the returned slice
+// is written, so recycled buffers yield the identical request stream.
+func (g gen) NextInto(rng *rand.Rand, buf []byte) []byte {
 	n := 200 + rng.Intn(1000)
-	b := make([]byte, n)
+	b := nf.Reserve(buf, n)
 	const filler = "GET /index.html HTTP/1.1 host: example.com accept: text/plain "
 	for i := range b {
 		b[i] = filler[rng.Intn(len(filler))]

@@ -123,6 +123,27 @@ func (p *Packet) init(src, dst Addr, srcPort, dstPort uint16, payload []byte) {
 	}
 }
 
+// reset reinitializes a recycled packet in one composite-literal store, so
+// the zeroing of the stale struct and the field writes of init fuse into a
+// single pass over the memory.
+func (p *Packet) reset(src, dst Addr, srcPort, dstPort uint16, payload []byte) {
+	wl := len(payload) + HeaderOverhead
+	if wl < MinWireLen {
+		wl = MinWireLen
+	}
+	*p = Packet{
+		SrcMAC:  src.MAC,
+		DstMAC:  dst.MAC,
+		SrcIP:   src.IP,
+		DstIP:   dst.IP,
+		SrcPort: srcPort,
+		DstPort: dstPort,
+		Proto:   ProtoUDP,
+		Payload: payload,
+		WireLen: wl,
+	}
+}
+
 // Clone returns a deep copy (payload included).
 func (p *Packet) Clone() *Packet {
 	q := *p

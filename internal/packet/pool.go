@@ -9,10 +9,16 @@ package packet
 // Ownership rule: whoever retires a packet from the dataplane releases it —
 // the completion path after the response is built, the drop paths (ring
 // tail-drop, fault drop, rehome failure), and the client-side response
-// delivery. A released packet must not be touched again; Put clears the
-// payload reference so pooled packets pin no generator buffers.
+// delivery. A released packet must not be touched again; Put detaches the
+// payload and banks its buffer for GetBuf, so generator buffers are
+// recycled rather than pinned by pooled packets.
 type Pool struct {
 	free []*Packet
+	// bufs retains payload buffers of released packets for GetBuf. Reuse
+	// order is pure LIFO, so it is as deterministic as the packet
+	// free-list; generators fully overwrite the buffers they take, so
+	// stale contents never leak into a run.
+	bufs [][]byte
 
 	// News, Reused and Released count pool traffic: News is how many
 	// packets were heap-allocated, Reused how many Gets were served from
@@ -39,14 +45,32 @@ func (pl *Pool) Get(src, dst Addr, srcPort, dstPort uint16, payload []byte) *Pac
 		p = pl.free[n-1]
 		pl.free[n-1] = nil
 		pl.free = pl.free[:n-1]
-		*p = Packet{}
+		p.reset(src, dst, srcPort, dstPort, payload)
 		pl.Reused++
 	} else {
 		p = &Packet{}
+		p.init(src, dst, srcPort, dstPort, payload)
 		pl.News++
 	}
-	p.init(src, dst, srcPort, dstPort, payload)
 	return p
+}
+
+// GetBuf returns a retired payload buffer (length zero, capacity whatever
+// the donor packet carried), or nil when none is banked. Request generators
+// feed it to their NextInto methods so steady-state payload generation
+// reuses the buffers of completed packets instead of allocating.
+func (pl *Pool) GetBuf() []byte {
+	if pl == nil {
+		return nil
+	}
+	n := len(pl.bufs)
+	if n == 0 {
+		return nil
+	}
+	b := pl.bufs[n-1]
+	pl.bufs[n-1] = nil
+	pl.bufs = pl.bufs[:n-1]
+	return b
 }
 
 // Put releases p back to the pool. Releasing nil is a no-op. The caller
@@ -55,6 +79,9 @@ func (pl *Pool) Get(src, dst Addr, srcPort, dstPort uint16, payload []byte) *Pac
 func (pl *Pool) Put(p *Packet) {
 	if pl == nil || p == nil {
 		return
+	}
+	if cap(p.Payload) > 0 {
+		pl.bufs = append(pl.bufs, p.Payload[:0])
 	}
 	p.Payload = nil
 	pl.free = append(pl.free, p)

@@ -100,6 +100,32 @@ func (p FnProfile) ServiceTime(wireBytes int, rng *rand.Rand) sim.Time {
 	return t
 }
 
+// ServiceTimer is a profile's service-time sampler with the byteNS
+// calibration precomputed. Stations draw one service time per packet, and
+// re-deriving byteNS there costs two float divides per draw; the profile's
+// parameters are fixed between setProfile calls, so the station binds a
+// timer per profile instead. Sample reproduces FnProfile.ServiceTime
+// bit-for-bit: same arithmetic, same rng draw order.
+type ServiceTimer struct {
+	overheadNS sim.Time
+	byteNS     float64
+	jitterNS   float64
+}
+
+// Timer returns the precomputed service-time sampler for p.
+func (p FnProfile) Timer() ServiceTimer {
+	return ServiceTimer{overheadNS: p.OverheadNS, byteNS: p.byteNS(), jitterNS: float64(p.JitterMeanNS)}
+}
+
+// Sample draws one service time; equivalent to FnProfile.ServiceTime.
+func (t ServiceTimer) Sample(wireBytes int, rng *rand.Rand) sim.Time {
+	st := t.overheadNS + sim.Time(float64(wireBytes)*t.byteNS)
+	if rng != nil && t.jitterNS > 0 {
+		st += sim.Time(rng.ExpFloat64() * t.jitterNS)
+	}
+	return st
+}
+
 // MeanServiceTime is the expected service time (deterministic part plus
 // the jitter mean).
 func (p FnProfile) MeanServiceTime(wireBytes int) sim.Time {

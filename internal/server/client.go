@@ -14,6 +14,18 @@ import (
 // never overflow sim.Time.
 const maxGapNS = float64(3600 * sim.Second)
 
+// Burst coalescing bounds: one sendNext event expands up to maxBurst
+// arrivals whose analytic send times span at most maxBurstSpan. The span
+// cap must stay below every periodic process's period (the shortest is the
+// HAL monitor's 10 µs window): a tick at k·P is scheduled at (k-1)·P, so as
+// long as a burst's first-hop events are scheduled later than that — which
+// the span cap guarantees — a tick sharing an instant with a pre-scheduled
+// arrival keeps its original FIFO position.
+const (
+	maxBurst     = 32
+	maxBurstSpan = 4 * sim.Microsecond
+)
+
 // client is the open-loop packet generator of §VI: it offers traffic at a
 // controlled rate — constant for the sweep experiments, log-normal
 // modulated for the datacenter workloads — independent of how the server
@@ -28,7 +40,16 @@ type client struct {
 	sizes    *trace.SizeDist
 	gen      nf.RequestGen // optional: real request payloads
 	genAlt   nf.RequestGen // payloads for mix-tagged packets
-	emit     func(*packet.Packet)
+	// genInto/genAltInto are the buffer-reusing views of gen/genAlt,
+	// non-nil when the generator implements nf.RequestGenInto; send then
+	// renders payloads into buffers banked by the packet pool.
+	genInto    nf.RequestGenInto
+	genAltInto nf.RequestGenInto
+	// emit hands a freshly created packet to the server at its arrival
+	// time. With burst coalescing the handler may run before at — the
+	// receiver must schedule the packet's first hop at absolute at-relative
+	// times, not relative to the engine clock.
+	emit func(*packet.Packet, sim.Time)
 
 	// mixFrac is the probability a packet carries FnTag 1 (the second
 	// function of a mix); mixShiftAt switches from mixFracBefore to
@@ -45,15 +66,23 @@ type client struct {
 	// over the same packet population.
 	warmupEnd sim.Time
 
+	// endAt bounds burst expansion: no packet is created past it. The
+	// server sets it to the run duration — the instant after which a
+	// per-packet sendNext event would either never fire (RunUntil cutoff)
+	// or find the client stopped (drained runs stop exactly at the
+	// duration) — so expanding a burst early creates exactly the packets
+	// the one-event-per-packet loop would have. Zero disables expansion.
+	endAt sim.Time
+
 	// pool recycles request packets; the completion and drop paths release
 	// them back.
 	pool *packet.Pool
-	// sendNextCall and scheduleNextFn are the arrival loop's handlers,
-	// bound once in start so per-packet scheduling captures no closure
-	// (a method value materialized at a call site allocates; a stored
-	// field does not).
-	sendNextCall   sim.Call
-	scheduleNextFn func()
+	// sendNextCall and rearmCall are the arrival loop's handlers, bound
+	// once in start so per-packet scheduling captures no closure (a
+	// method value materialized at a call site allocates; a stored field
+	// does not).
+	sendNextCall sim.Call
+	rearmCall    sim.Call
 
 	seq       uint64
 	sentPkts  uint64
@@ -69,7 +98,9 @@ type client struct {
 // start arms the arrival process (and the trace epoch timer, if tracing).
 func (c *client) start() {
 	c.sendNextCall = c.sendNext
-	c.scheduleNextFn = c.scheduleNext
+	c.rearmCall = c.rearm
+	c.genInto, _ = c.gen.(nf.RequestGenInto)
+	c.genAltInto, _ = c.genAlt.(nf.RequestGenInto)
 	if c.tracegen != nil {
 		c.rateGbps = c.tracegen.NextRateGbps()
 		c.ticker = c.eng.Every(c.epoch, func() {
@@ -102,7 +133,7 @@ func (c *client) scheduleNext() {
 		return
 	}
 	if c.rateGbps <= 0 {
-		c.eng.Schedule(c.epoch, c.scheduleNextFn)
+		c.eng.ScheduleCall(c.epoch, c.rearmCall, nil, 0)
 		return
 	}
 	size := c.sizes.Sample(c.rng)
@@ -111,7 +142,7 @@ func (c *client) scheduleNext() {
 	// Compare in the float domain: a near-zero epoch rate can push the
 	// gap past int64 range, and converting first would wrap negative.
 	if c.tracegen != nil && gapF > float64(c.epoch) {
-		c.eng.Schedule(c.epoch, c.scheduleNextFn)
+		c.eng.ScheduleCall(c.epoch, c.rearmCall, nil, 0)
 		return
 	}
 	if gapF > maxGapNS {
@@ -121,19 +152,73 @@ func (c *client) scheduleNext() {
 	c.eng.ScheduleCall(gap, c.sendNextCall, nil, int64(size))
 }
 
-// sendNext fires one arrival (the closure-free form of the send-and-rearm
-// event; n carries the drawn wire size).
+// sendNext fires one arrival burst (n carries the first packet's drawn wire
+// size). Instead of one event per packet, the handler expands up to
+// maxBurst arrivals inline: each sub-arrival's send time is the same
+// analytic t_{i+1} = t_i + ⌊gap⌋ the per-packet loop would have produced,
+// and the rng is consulted in the identical order (mix/payload draws for
+// packet i, then size/gap draws for packet i+1), so every packet carries
+// byte-identical contents and timestamps. Expansion stops — handing the
+// remainder to a fresh event at the next send time — at the burst caps, at
+// endAt, and at a trace-epoch boundary (the epoch ticker re-draws the rate
+// there, and its event precedes any burst continuation at the same
+// instant, exactly as in the per-packet schedule).
 func (c *client) sendNext(_ any, n int64) {
 	if c.stopped {
 		return
 	}
-	c.send(int(n))
+	start := c.eng.Now()
+	t := start
+	size := int(n)
+	for burst := 1; ; burst++ {
+		c.sendAt(size, t)
+		if c.rateGbps <= 0 {
+			c.eng.AtCall(t+c.epoch, c.rearmCall, nil, 0)
+			return
+		}
+		next := c.sizes.Sample(c.rng)
+		meanGapNS := float64(next) * 8 / c.rateGbps
+		gapF := c.rng.ExpFloat64() * meanGapNS
+		// Compare in the float domain: a near-zero epoch rate can push
+		// the gap past int64 range, and converting first would wrap
+		// negative.
+		if c.tracegen != nil && gapF > float64(c.epoch) {
+			c.eng.AtCall(t+c.epoch, c.rearmCall, nil, 0)
+			return
+		}
+		if gapF > maxGapNS {
+			gapF = maxGapNS
+		}
+		nt := t + sim.Time(gapF)
+		if burst >= maxBurst || nt-start > maxBurstSpan || nt > c.endAt ||
+			(c.tracegen != nil && (c.epoch <= 0 || nt >= c.nextEpochBoundary(t))) {
+			c.eng.AtCall(nt, c.sendNextCall, nil, int64(next))
+			return
+		}
+		t = nt
+		size = next
+	}
+}
+
+// nextEpochBoundary returns the first trace-epoch boundary after t. The
+// epoch ticker starts at engine time zero, so boundaries sit at multiples
+// of the epoch.
+func (c *client) nextEpochBoundary(t sim.Time) sim.Time {
+	return (t/c.epoch + 1) * c.epoch
+}
+
+// rearm is the closure-free epoch-boundary retry handler.
+func (c *client) rearm(any, int64) {
 	c.scheduleNext()
 }
 
-func (c *client) send(size int) {
+// sendAt creates one packet whose arrival instant is at (≥ the engine
+// clock when a burst was expanded early). Everything time-dependent — the
+// mix-shift comparison, CreatedAt, the warmup gate — uses at, so the
+// packet is indistinguishable from one created by an event firing at at.
+func (c *client) sendAt(size int, at sim.Time) {
 	frac := c.mixFrac
-	if c.mixShiftAt > 0 && c.eng.Now() < c.mixShiftAt {
+	if c.mixShiftAt > 0 && at < c.mixShiftAt {
 		frac = c.mixFracBefore
 	}
 	tag := uint8(0)
@@ -142,9 +227,17 @@ func (c *client) send(size int) {
 	}
 	var payload []byte
 	if tag == 1 && c.genAlt != nil {
-		payload = c.genAlt.Next(c.rng)
+		if c.genAltInto != nil {
+			payload = c.genAltInto.NextInto(c.rng, c.pool.GetBuf())
+		} else {
+			payload = c.genAlt.Next(c.rng)
+		}
 	} else if c.gen != nil {
-		payload = c.gen.Next(c.rng)
+		if c.genInto != nil {
+			payload = c.genInto.NextInto(c.rng, c.pool.GetBuf())
+		} else {
+			payload = c.gen.Next(c.rng)
+		}
 	}
 	c.seq++
 	p := c.pool.Get(c.addr, c.dst, uint16(4000+c.seq%1000), 9000, payload)
@@ -154,12 +247,12 @@ func (c *client) send(size int) {
 		p.WireLen = real
 	}
 	p.FnTag = tag
-	p.CreatedAt = int64(c.eng.Now())
+	p.CreatedAt = int64(at)
 	c.totalPkts++
 	c.totalBytes += uint64(p.WireLen)
-	if c.eng.Now() >= c.warmupEnd {
+	if at >= c.warmupEnd {
 		c.sentPkts++
 		c.sentBytes += uint64(p.WireLen)
 	}
-	c.emit(p)
+	c.emit(p, at)
 }

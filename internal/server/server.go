@@ -390,6 +390,14 @@ type run struct {
 	slbMon *core.TrafficMonitor
 	slbFwd *station
 
+	// fwdAt is the wire-arrival base time of the packet currently inside
+	// sw.Forward: the PCIe-crossing binds schedule the arrive events at
+	// fwdAt+crossing instead of Now+crossing, so a burst-coalesced ingress
+	// (which forwards packets before their arrival instant) still lands
+	// every packet at its exact analytic arrival time. Every Forward call
+	// site sets it first; outside burst expansion it equals the clock.
+	fwdAt sim.Time
+
 	hostSleep *dpdk.SleepController
 
 	cli *client
@@ -451,9 +459,13 @@ func (r *run) build() error {
 			r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: kind,
 				Station: telemetry.StHLB, Core: -1, Pkt: p.ID})
 		}
+		r.fwdAt = r.eng.Now()
 		r.sw.Forward(p)
 	}
-	r.forwardCall = func(a any, _ int64) { r.sw.Forward(a.(*packet.Packet)) }
+	r.forwardCall = func(a any, _ int64) {
+		r.fwdAt = r.eng.Now()
+		r.sw.Forward(a.(*packet.Packet))
+	}
 	r.toSNICCall = func(a any, _ int64) { r.snic.first.enqueue(a.(*packet.Packet)) }
 	r.toHostCall = func(a any, _ int64) { r.host.first.enqueue(a.(*packet.Packet)) }
 	var err error
@@ -497,8 +509,8 @@ func (r *run) build() error {
 	if cfg.MixOn {
 		sp := r.profile(cfg.SNIC, nil, cfg.MixFn)
 		hp := r.profile(cfg.Host, nil, cfg.MixFn)
-		r.snic.first.altProf = &sp
-		r.host.first.altProf = &hp
+		r.snic.first.setAltProfile(&sp)
+		r.host.first.setAltProfile(&hp)
 	}
 	if cfg.PipelineOn {
 		r.snic.second = newStation(r.eng, "snic2", r.profile(cfg.SNIC, nil, cfg.Pipeline), cfg.RingSize, cfg.Seed+3)
@@ -545,10 +557,10 @@ func (r *run) build() error {
 	// crossings schedule through the pre-bound handlers.
 	r.sw = eswitch.New()
 	r.sw.Bind(eswitch.PortSNIC, func(p *packet.Packet) {
-		r.eng.ScheduleCall(platform.PCIeCrossNS, r.arriveSNICCall, p, 0)
+		r.eng.AtCall(r.fwdAt+platform.PCIeCrossNS, r.arriveSNICCall, p, 0)
 	})
 	r.sw.Bind(eswitch.PortHost, func(p *packet.Packet) {
-		r.eng.ScheduleCall(platform.PCIeCrossNS+platform.SNICCloserNS, r.arriveHostCall, p, 0)
+		r.eng.AtCall(r.fwdAt+platform.PCIeCrossNS+platform.SNICCloserNS, r.arriveHostCall, p, 0)
 	})
 	r.sw.Bind(eswitch.PortWire, func(p *packet.Packet) { r.deliverResponse(p) })
 
@@ -689,6 +701,7 @@ func (r *run) build() error {
 		gen:           r.gen,
 		emit:          r.ingress,
 		epoch:         r.rc.Epoch,
+		endAt:         r.rc.Duration,
 	}
 	if r.rc.Workload != nil {
 		g, err := trace.New(*r.rc.Workload, cfg.Seed+17)
@@ -700,16 +713,19 @@ func (r *run) build() error {
 	return r.buildFaults()
 }
 
-// ingress is the wire→server path.
-func (r *run) ingress(p *packet.Packet) {
+// ingress is the wire→server path. at is the packet's arrival instant;
+// with burst coalescing it can lie ahead of the engine clock, so every
+// downstream hop is scheduled at an absolute at-relative time.
+func (r *run) ingress(p *packet.Packet, at sim.Time) {
 	if r.tr.Sampled(p.ID) {
-		r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindIngress,
+		r.tr.Emit(telemetry.Span{T: at, Kind: telemetry.KindIngress,
 			Station: telemetry.StWire, Core: -1, Pkt: p.ID, Arg: int64(p.WireLen)})
 	}
 	switch r.cfg.Mode {
 	case HAL:
-		r.eng.ScheduleCall(core.IngressLatency, r.halIngressCall, p, 0)
+		r.eng.AtCall(at+core.IngressLatency, r.halIngressCall, p, 0)
 	default:
+		r.fwdAt = at
 		r.sw.Forward(p)
 	}
 }

@@ -24,6 +24,11 @@ type station struct {
 	port    *dpdk.Port
 	rng     *rand.Rand
 
+	// timer/altTimer are the precomputed service-time samplers for
+	// prof/altProf; refreshed whenever the profile changes.
+	timer    platform.ServiceTimer
+	altTimer platform.ServiceTimer
+
 	busy []bool
 	// Fault state: dead marks crashed cores, gen is a per-core incarnation
 	// counter that invalidates the in-flight completion of a crashed core,
@@ -99,6 +104,7 @@ func newStation(eng *sim.Engine, name string, prof platform.FnProfile, ringSize 
 		eng:          eng,
 		name:         name,
 		prof:         prof,
+		timer:        prof.Timer(),
 		port:         dpdk.NewPort(prof.Servers, ringSize),
 		rng:          rand.New(rand.NewSource(seed)),
 		busy:         make([]bool, prof.Servers),
@@ -215,11 +221,11 @@ func (s *station) serve(core int) {
 		}
 		return
 	}
-	prof := s.prof
+	tm := s.timer
 	if p.FnTag == 1 && s.altProf != nil {
-		prof = *s.altProf
+		tm = s.altTimer
 	}
-	st := prof.ServiceTime(p.WireLen, s.rng)
+	st := tm.Sample(p.WireLen, s.rng)
 	if s.extra != nil {
 		st += s.extra(p)
 	}
@@ -340,6 +346,15 @@ func (s *station) aliveCores() int {
 func (s *station) setProfile(p platform.FnProfile) {
 	p.Servers = s.prof.Servers
 	s.prof = p
+	s.timer = p.Timer()
+}
+
+// setAltProfile installs (or clears) the FnTag==1 profile and its timer.
+func (s *station) setAltProfile(p *platform.FnProfile) {
+	s.altProf = p
+	if p != nil {
+		s.altTimer = p.Timer()
+	}
 }
 
 // inflightCount returns how many packets are mid-service right now.

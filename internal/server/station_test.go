@@ -174,7 +174,7 @@ func TestClientConstantRate(t *testing.T) {
 		rateGbps: 10,
 		sizes:    mtuSizes(),
 		epoch:    sim.Millisecond,
-		emit:     func(p *packet.Packet) { gotBytes += p.WireLen },
+		emit:     func(p *packet.Packet, _ sim.Time) { gotBytes += p.WireLen },
 	}
 	c.start()
 	eng.RunUntil(10 * sim.Millisecond)
@@ -196,7 +196,7 @@ func TestClientZeroRateIdles(t *testing.T) {
 	c := &client{
 		eng: eng, rng: newTestRand(), sizes: mtuSizes(),
 		epoch: sim.Millisecond,
-		emit:  func(*packet.Packet) { sent++ },
+		emit:  func(*packet.Packet, sim.Time) { sent++ },
 	}
 	c.start()
 	eng.RunUntil(5 * sim.Millisecond)
@@ -211,7 +211,7 @@ func TestClientMeasuredWindowGating(t *testing.T) {
 		eng: eng, rng: newTestRand(), sizes: mtuSizes(),
 		rateGbps: 10, epoch: sim.Millisecond,
 		warmupEnd: 5 * sim.Millisecond,
-		emit:      func(*packet.Packet) {},
+		emit:      func(*packet.Packet, sim.Time) {},
 	}
 	c.start()
 	eng.RunUntil(4 * sim.Millisecond)
@@ -246,7 +246,7 @@ func TestClientSurvivesNearZeroTraceRates(t *testing.T) {
 		eng: eng, rng: newTestRand(), sizes: mtuSizes(),
 		rateGbps: 1e-18, // gap >> int64 ns range
 		epoch:    sim.Millisecond,
-		emit:     func(*packet.Packet) { sent++ },
+		emit:     func(*packet.Packet, sim.Time) { sent++ },
 		tracegen: trace.NewWorkloadGenerator(trace.Cache, 77),
 	}
 	// tracegen non-nil → epoch-censoring path must fire instead of
@@ -263,7 +263,7 @@ func TestClientConstantTinyRateClamped(t *testing.T) {
 	c := &client{
 		eng: eng, rng: newTestRand(), sizes: mtuSizes(),
 		rateGbps: 1e-18, epoch: sim.Millisecond,
-		emit: func(*packet.Packet) {},
+		emit: func(*packet.Packet, sim.Time) {},
 	}
 	c.start() // must not panic: gap clamps to an hour
 	eng.RunUntil(5 * sim.Millisecond)

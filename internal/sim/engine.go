@@ -6,14 +6,16 @@
 // single-threaded: simulated concurrency comes from interleaved events, not
 // goroutines, so there are no data races and no timing nondeterminism.
 //
-// The event queue is a hand-rolled 4-ary min-heap of value-type events: no
-// container/heap interface boxing, no per-event pointer, no per-event heap
-// allocation. The heap's backing array doubles as the engine-owned event
-// free-list — slots vacated by fired events are reused in place and the
-// array's capacity is retained across Run/RunUntil cycles, so a steady-state
-// simulation schedules millions of events with zero allocations. Hot paths
-// should prefer ScheduleCall/AtCall, which carry a pre-bound handler plus
-// two argument words instead of a freshly captured closure.
+// The event queue is a hierarchical timing wheel (wheel.go): power-of-two
+// nanosecond buckets across six levels, cascading overflow between levels,
+// and a far-future overflow heap (heap.go) beyond the ~73 min horizon.
+// Scheduling and firing are O(1) amortized instead of the previous 4-ary
+// heap's O(log n) sifts. All wheel storage — the node slab, the free-list
+// threaded through it, the cascade scratch — is retained across Run/RunUntil
+// cycles, so a steady-state simulation schedules millions of events with
+// zero allocations. Hot paths should prefer ScheduleCall/AtCall, which carry
+// a pre-bound handler plus two argument words instead of a freshly captured
+// closure.
 package sim
 
 import (
@@ -51,9 +53,9 @@ func (t Time) String() string {
 // scalar for indices, generations, sizes.
 type Call func(arg any, n int64)
 
-// event is a scheduled callback, stored by value inside the heap array.
-// Exactly one of fn (cold path, captured closure) or call (hot path,
-// pre-bound handler + argument words) is set.
+// event is a scheduled callback, stored by value inside the wheel slab and
+// the overflow heap. Exactly one of fn (cold path, captured closure) or
+// call (hot path, pre-bound handler + argument words) is set.
 type event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among same-time events
@@ -63,7 +65,7 @@ type event struct {
 	n    int64
 }
 
-// before reports heap ordering: earliest time first, FIFO within a time.
+// before reports queue ordering: earliest time first, FIFO within a time.
 func (ev *event) before(o *event) bool {
 	if ev.at != o.at {
 		return ev.at < o.at
@@ -73,7 +75,7 @@ func (ev *event) before(o *event) bool {
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	heap      []event
+	q         timerWheel
 	now       Time
 	seq       uint64
 	processed uint64
@@ -90,7 +92,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending returns the number of events waiting to fire.
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return e.q.pending() }
 
 // Schedule runs fn after delay. A negative delay panics: simulated time
 // cannot move backwards.
@@ -107,7 +109,11 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	if ev := e.q.insertSlot(t); ev != nil {
+		*ev = event{at: t, seq: e.seq, fn: fn}
+	} else {
+		e.q.insertOverflow(event{at: t, seq: e.seq, fn: fn})
+	}
 }
 
 // ScheduleCall runs call(arg, n) after delay. It is the allocation-free
@@ -127,68 +133,11 @@ func (e *Engine) AtCall(t Time, call Call, arg any, n int64) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, call: call, arg: arg, n: n})
-}
-
-// push appends ev and sifts it up the 4-ary heap.
-func (e *Engine) push(ev event) {
-	e.heap = append(e.heap, ev)
-	h := e.heap
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) / 4
-		if !ev.before(&h[p]) {
-			break
-		}
-		h[i] = h[p]
-		i = p
+	if ev := e.q.insertSlot(t); ev != nil {
+		*ev = event{at: t, seq: e.seq, call: call, arg: arg, n: n}
+	} else {
+		e.q.insertOverflow(event{at: t, seq: e.seq, call: call, arg: arg, n: n})
 	}
-	h[i] = ev
-}
-
-// pop removes and returns the root event. The vacated tail slot is zeroed
-// so the retained backing array (the event free-list) pins no closures,
-// handlers, or packets for the garbage collector.
-func (e *Engine) pop() event {
-	h := e.heap
-	root := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h[n] = event{}
-	e.heap = h[:n]
-	if n > 0 {
-		e.siftDown(last)
-	}
-	return root
-}
-
-// siftDown places ev starting from the root of the 4-ary heap.
-func (e *Engine) siftDown(ev event) {
-	h := e.heap
-	n := len(h)
-	i := 0
-	for {
-		c := 4*i + 1
-		if c >= n {
-			break
-		}
-		best := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if h[j].before(&h[best]) {
-				best = j
-			}
-		}
-		if !h[best].before(&ev) {
-			break
-		}
-		h[i] = h[best]
-		i = best
-	}
-	h[i] = ev
 }
 
 // dispatch fires one event.
@@ -210,13 +159,17 @@ func (e *Engine) Stop() { e.stopped = true }
 // later resume consistently.
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		if e.heap[0].at > deadline {
+	for !e.stopped {
+		at, ok := e.q.nextAt()
+		if !ok {
+			break
+		}
+		if at > deadline {
 			e.now = deadline
 			return
 		}
-		ev := e.pop()
-		e.now = ev.at
+		ev := e.q.popHead()
+		e.now = at
 		e.processed++
 		ev.dispatch()
 	}
@@ -229,8 +182,11 @@ func (e *Engine) RunUntil(deadline Time) {
 // until the queue drains or Stop is called.
 func (e *Engine) Run() {
 	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
-		ev := e.pop()
+	for !e.stopped {
+		if !e.q.findHead() {
+			break
+		}
+		ev := e.q.popHead()
 		e.now = ev.at
 		e.processed++
 		ev.dispatch()
@@ -240,31 +196,36 @@ func (e *Engine) Run() {
 // Ticker invokes fn every period until cancel is called or the engine
 // stops scheduling it. fn observes the engine clock via Engine.Now.
 type Ticker struct {
+	e         *Engine
+	period    Time
+	fn        func()
+	tickCall  Call
 	cancelled bool
 }
 
 // Cancel stops future ticks. The in-flight tick, if any, still completes.
 func (t *Ticker) Cancel() { t.cancelled = true }
 
+// tick is the re-arming handler; bound once in Every so each period
+// schedules an existing Call value and therefore does not allocate.
+func (t *Ticker) tick(any, int64) {
+	if t.cancelled {
+		return
+	}
+	t.fn()
+	if !t.cancelled {
+		t.e.ScheduleCall(t.period, t.tickCall, nil, 0)
+	}
+}
+
 // Every schedules fn to run every period, starting one period from now.
 // It returns a Ticker whose Cancel method stops the repetition.
-// The tick closure is allocated once per Every call; re-arming it each
-// period schedules an existing func value and therefore does not allocate.
 func (e *Engine) Every(period Time, fn func()) *Ticker {
 	if period <= 0 {
 		panic(fmt.Sprintf("sim: non-positive period %d", period))
 	}
-	t := &Ticker{}
-	var tick func()
-	tick = func() {
-		if t.cancelled {
-			return
-		}
-		fn()
-		if !t.cancelled {
-			e.Schedule(period, tick)
-		}
-	}
-	e.Schedule(period, tick)
+	t := &Ticker{e: e, period: period, fn: fn}
+	t.tickCall = t.tick
+	e.ScheduleCall(period, t.tickCall, nil, 0)
 	return t
 }

@@ -1,0 +1,79 @@
+package sim
+
+// eventHeap is the hand-rolled 4-ary min-heap of value-type events that was
+// the engine's whole queue before the timing wheel. It survives in two
+// roles: as the wheel's far-future overflow structure (events beyond the
+// wheel horizon are rare, so O(log n) there is irrelevant), and as the
+// reference oracle in the replay property tests. Ordering is (at, seq):
+// earliest time first, FIFO within a time. The backing array is retained
+// across drain cycles, so a steady-state overflow schedules with zero
+// allocations once warm.
+type eventHeap struct {
+	a []event
+}
+
+func (h *eventHeap) len() int { return len(h.a) }
+
+// peek returns a pointer to the minimum event. Call only when len() > 0.
+func (h *eventHeap) peek() *event { return &h.a[0] }
+
+// push appends ev and sifts it up the 4-ary heap.
+func (h *eventHeap) push(ev event) {
+	h.a = append(h.a, ev)
+	a := h.a
+	i := len(a) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !ev.before(&a[p]) {
+			break
+		}
+		a[i] = a[p]
+		i = p
+	}
+	a[i] = ev
+}
+
+// pop removes and returns the root event. The vacated tail slot is zeroed
+// so the retained backing array pins no closures, handlers, or packets for
+// the garbage collector.
+func (h *eventHeap) pop() event {
+	a := h.a
+	root := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = event{}
+	h.a = a[:n]
+	if n > 0 {
+		h.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places ev starting from the root of the 4-ary heap.
+func (h *eventHeap) siftDown(ev event) {
+	a := h.a
+	n := len(a)
+	i := 0
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if a[j].before(&a[best]) {
+				best = j
+			}
+		}
+		if !a[best].before(&ev) {
+			break
+		}
+		a[i] = a[best]
+		i = best
+	}
+	a[i] = ev
+}

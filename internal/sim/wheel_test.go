@@ -1,0 +1,240 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// heapEngine is a minimal event loop built directly on the retained 4-ary
+// eventHeap — the engine's entire queue before the timing wheel. It is the
+// oracle the wheel is replayed against: identical (at, seq) semantics with
+// none of the wheel's level/cascade/overflow machinery.
+type heapEngine struct {
+	h   eventHeap
+	now Time
+	seq uint64
+}
+
+func (r *heapEngine) Schedule(delay Time, fn func()) {
+	r.seq++
+	r.h.push(event{at: r.now + delay, seq: r.seq, fn: fn})
+}
+
+func (r *heapEngine) RunUntil(deadline Time) {
+	for r.h.len() > 0 {
+		if r.h.peek().at > deadline {
+			r.now = deadline
+			return
+		}
+		ev := r.h.pop()
+		r.now = ev.at
+		ev.fn()
+	}
+	if r.now < deadline {
+		r.now = deadline
+	}
+}
+
+func (r *heapEngine) Run() {
+	for r.h.len() > 0 {
+		ev := r.h.pop()
+		r.now = ev.at
+		ev.fn()
+	}
+}
+
+// wheelDelay draws delays stratified across every wheel regime: same-tick
+// ties, single-slot level-0 hops, each cascading level, the lap-collision
+// promotion band just under a window boundary, and far-future deltas beyond
+// the horizon that must detour through the overflow heap.
+func wheelDelay(rng *rand.Rand) Time {
+	switch rng.Intn(12) {
+	case 0:
+		return 0
+	case 1, 2, 3:
+		return Time(rng.Intn(l0Slots))
+	case 4, 5:
+		return Time(rng.Intn(1 << levelShift(2)))
+	case 6:
+		return Time(rng.Intn(1 << levelShift(3)))
+	case 7:
+		return Time(rng.Int63n(1 << levelShift(upperLevels)))
+	case 8:
+		// Hug a coverage boundary: these are the deltas that wrap onto
+		// the cursor's own slot and exercise the promotion rule.
+		lvl := 1 + rng.Intn(upperLevels)
+		span := Time(1) << levelShift(lvl)
+		window := span << slotBits
+		return window - Time(rng.Int63n(int64(2*span)))
+	case 9:
+		return wheelHorizon - Time(rng.Int63n(1<<levelShift(3)))
+	default:
+		return wheelHorizon + Time(rng.Int63n(int64(wheelHorizon)))
+	}
+}
+
+// buildWheelWorkload mirrors buildWorkload but with wheelDelay's
+// multi-magnitude draws; the rng is consulted in event-execution order, so
+// two engines produce identical traces iff they fire events in the
+// identical order.
+func buildWheelWorkload(schedule func(Time, func()), now func() Time, seed int64, budget int) *[]firing {
+	rng := rand.New(rand.NewSource(seed))
+	trace := make([]firing, 0, budget)
+	created := 0
+	var spawn func()
+	spawn = func() {
+		if created >= budget {
+			return
+		}
+		id := created
+		created++
+		delay := wheelDelay(rng)
+		schedule(delay, func() {
+			trace = append(trace, firing{id, now()})
+			spawn()
+			spawn()
+		})
+	}
+	for i := 0; i < 16; i++ {
+		spawn()
+	}
+	return &trace
+}
+
+// TestWheelAgainstHeapOracle replays a randomized 100k-event schedule
+// spanning every wheel level plus the overflow heap on the timing-wheel
+// engine and on the retained 4-ary heap, and demands the firing traces
+// match event for event. The run is chopped into RunUntil segments (with a
+// mid-run Stop/resume) so deadline clamping and cursor catch-up after idle
+// gaps are part of the replay, then drained with Run.
+func TestWheelAgainstHeapOracle(t *testing.T) {
+	const budget = 100_000
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		ref := &heapEngine{}
+		want := buildWheelWorkload(ref.Schedule, func() Time { return ref.now }, seed, budget)
+
+		e := NewEngine()
+		var nth int
+		trampoline := Call(func(arg any, _ int64) { arg.(func())() })
+		schedule := func(delay Time, fn func()) {
+			nth++
+			if nth%2 == 0 {
+				e.ScheduleCall(delay, trampoline, fn, 0)
+			} else {
+				e.Schedule(delay, fn)
+			}
+		}
+		got := buildWheelWorkload(schedule, e.Now, seed, budget)
+
+		for _, deadline := range []Time{1 << levelShift(2), 1 << levelShift(4), wheelHorizon, 2 * wheelHorizon} {
+			ref.RunUntil(deadline)
+			e.RunUntil(deadline)
+			if e.Now() != ref.now {
+				t.Fatalf("seed %d: clocks diverge after RunUntil(%d): wheel %d, heap %d", seed, deadline, e.Now(), ref.now)
+			}
+			if e.Pending() != ref.h.len() {
+				t.Fatalf("seed %d: pending diverges after RunUntil(%d): wheel %d, heap %d", seed, deadline, e.Pending(), ref.h.len())
+			}
+		}
+		ref.Run()
+		e.Run()
+
+		if len(*got) != len(*want) {
+			t.Fatalf("seed %d: trace lengths %d/%d", seed, len(*got), len(*want))
+		}
+		for i := range *want {
+			if (*got)[i] != (*want)[i] {
+				t.Fatalf("seed %d: traces diverge at event %d: wheel fired %+v, heap fired %+v",
+					seed, i, (*got)[i], (*want)[i])
+			}
+		}
+	}
+}
+
+// FuzzWheelSameInstantFIFO drives arbitrary event schedules — many events
+// packed onto shared instants that the wheel reaches from different levels —
+// and asserts the engine contract directly: events fire ordered by
+// (timestamp, scheduling order). Ties split across levels are exactly the
+// case where a careless cascade breaks FIFO (an upper-level slot re-filed
+// after a lower one would jump the queue), so the program generator goes
+// out of its way to reuse earlier instants, including the current one.
+func FuzzWheelSameInstantFIFO(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 250, 7, 9, 40, 0, 0, 13, 200, 33, 33, 33, 33})
+	f.Add([]byte{9, 9, 9, 9, 9, 9, 9, 9, 255, 255, 1, 0})
+	f.Add([]byte{0, 0, 0, 0, 6, 64, 6, 64, 6, 64, 12, 1, 12, 1})
+	f.Fuzz(func(t *testing.T, prog []byte) {
+		if len(prog) > 512 {
+			prog = prog[:512]
+		}
+		e := NewEngine()
+		type firedEv struct {
+			at  Time
+			idx int
+		}
+		var (
+			scheduled int
+			fired     []firedEv
+			instants  []Time
+			pc        int
+		)
+		nextByte := func() (byte, bool) {
+			if pc >= len(prog) {
+				return 0, false
+			}
+			b := prog[pc]
+			pc++
+			return b, true
+		}
+		schedule := func(at Time) {
+			idx := scheduled
+			scheduled++
+			e.At(at, func() {
+				fired = append(fired, firedEv{e.Now(), idx})
+			})
+			instants = append(instants, at)
+		}
+		var step func()
+		step = func() {
+			// A few ops per driver firing, so scheduling happens at many
+			// different cursor positions (including mid-cascade windows).
+			for k := 0; k < 4; k++ {
+				a, ok := nextByte()
+				if !ok {
+					return
+				}
+				b, _ := nextByte()
+				// Delays span every regime: level 0, each upper level,
+				// and past the horizon into the overflow heap.
+				at := e.Now() + Time(b)<<(uint(a%8)*7)
+				if a%3 == 0 && len(instants) > 0 {
+					// Revisit an earlier instant to manufacture a tie
+					// (only if it is still schedulable).
+					if cand := instants[int(b)%len(instants)]; cand >= e.Now() {
+						at = cand
+					}
+				}
+				schedule(at)
+			}
+			if pc < len(prog) {
+				c := Time(prog[pc])
+				e.At(e.Now()+c*c+1, step)
+			}
+		}
+		e.At(0, step)
+		e.Run()
+
+		if len(fired) != scheduled {
+			t.Fatalf("fired %d of %d scheduled events", len(fired), scheduled)
+		}
+		for i := range fired {
+			if i == 0 {
+				continue
+			}
+			prev, cur := fired[i-1], fired[i]
+			if cur.at < prev.at || (cur.at == prev.at && cur.idx < prev.idx) {
+				t.Fatalf("ordering violated at firing %d: (at=%d idx=%d) after (at=%d idx=%d)",
+					i, cur.at, cur.idx, prev.at, prev.idx)
+			}
+		}
+	})
+}

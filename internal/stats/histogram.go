@@ -6,6 +6,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"strings"
 )
@@ -81,15 +82,7 @@ func (h *Histogram) bucketHigh(idx int) int64 {
 }
 
 func leadingZeros(x uint64) int {
-	n := 0
-	if x == 0 {
-		return 64
-	}
-	for x&(1<<63) == 0 {
-		x <<= 1
-		n++
-	}
-	return n
+	return bits.LeadingZeros64(x)
 }
 
 // Record adds one sample. Negative samples are clamped to zero.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Workload identifies one of the paper's three traffic workloads.
@@ -124,6 +125,14 @@ func NewWorkloadGenerator(w Workload, seed int64) *Generator {
 	return NewGenerator(ParamsFor(w), seed)
 }
 
+// scaleCache memoizes calibrateScale per Params: the calibration is a pure
+// function of the parameters (fixed seed, fixed sample count), and an
+// experiment sweep builds dozens of generators for the same three
+// workloads — recomputing the 800k-draw estimate each time dominated the
+// sweep's setup cost. sync.Map because sweeps construct generators from
+// parallel goroutines; racing stores write the identical value.
+var scaleCache sync.Map
+
 // calibrateScale estimates the multiplicative factor that maps the clamped
 // log-normal's mean onto AvgGbps. The clamp at PeakGbps makes the mean
 // analytically awkward (σ up to 7.55 puts enormous mass in the clamp), so
@@ -132,6 +141,9 @@ func NewWorkloadGenerator(w Workload, seed int64) *Generator {
 func (g *Generator) calibrateScale() float64 {
 	if g.p.AvgGbps <= 0 {
 		return 1
+	}
+	if v, ok := scaleCache.Load(g.p); ok {
+		return v.(float64)
 	}
 	rng := rand.New(rand.NewSource(0x5eed))
 	const n = 200000
@@ -153,6 +165,7 @@ func (g *Generator) calibrateScale() float64 {
 		}
 		scale *= g.p.AvgGbps / mean
 	}
+	scaleCache.Store(g.p, scale)
 	return scale
 }
 
