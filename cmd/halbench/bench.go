@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -31,9 +32,25 @@ type benchSnapshot struct {
 	Seed      int64  `json:"seed"`
 	// Repeat is how many times each benchmark was measured; every result
 	// row is the fastest of those runs (absent in pre-min-of-N snapshots).
-	Repeat    int           `json:"repeat,omitempty"`
-	GoVersion string        `json:"go_version,omitempty"`
-	Results   []benchResult `json:"results"`
+	Repeat    int    `json:"repeat,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
+	// Execution-environment metadata: snapshots taken on different machines
+	// or engine modes measure different things, so the -baseline gate
+	// refuses to compare them silently. GoMaxProcs is the effective
+	// parallelism (container quotas included); Shards and Engine say which
+	// simulation engine ran ("serial" for 0/1 shards, "parallel" above).
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
+	Shards     int           `json:"shards,omitempty"`
+	Engine     string        `json:"engine,omitempty"`
+	Results    []benchResult `json:"results"`
+}
+
+// engineLabel names the engine a shard count selects.
+func engineLabel(shards int) string {
+	if shards > 1 {
+		return "parallel"
+	}
+	return "serial"
 }
 
 // regressionLimit is how much a benchmark's ns/op may grow over the
@@ -62,12 +79,12 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, outPath, bas
 		t5.Duration, t5.TraceDuration = 5*sim.Millisecond, 10*sim.Millisecond
 	}
 
-	modeBench := func(mode server.Mode) func(b *testing.B) {
+	modeBench := func(mode server.Mode, shards int) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := server.Run(
-					server.Config{Mode: mode, Fn: nf.NAT, Seed: opt.Seed},
+					server.Config{Mode: mode, Fn: nf.NAT, Seed: opt.Seed, Shards: shards},
 					server.RunConfig{Duration: runDur, RateGbps: 80})
 				if err != nil {
 					b.Fatal(err)
@@ -78,17 +95,11 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, outPath, bas
 			}
 		}
 	}
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
-		{"ModeNAT80G/SNIC", modeBench(server.SNICOnly)},
-		{"ModeNAT80G/Host", modeBench(server.HostOnly)},
-		{"ModeNAT80G/HAL", modeBench(server.HAL)},
-		{"Table5", func(b *testing.B) {
+	table5Bench := func(o experiments.Options) func(b *testing.B) {
+		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := experiments.Table5(t5)
+				r, err := experiments.Table5(o)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -96,14 +107,43 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, outPath, bas
 					b.Fatal("empty table")
 				}
 			}
-		}},
+		}
+	}
+	t5Serial := t5
+	t5Serial.Shards = 0
+	benches := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"ModeNAT80G/SNIC", modeBench(server.SNICOnly, 0)},
+		{"ModeNAT80G/Host", modeBench(server.HostOnly, 0)},
+		{"ModeNAT80G/HAL", modeBench(server.HAL, 0)},
+		{"Table5", table5Bench(t5Serial)},
+	}
+	// A sharded invocation measures BOTH engines: the serial sentinels above
+	// keep gating hot-path regressions like-for-like, and the /shardsN rows
+	// record the parallel engine on the same workloads, so one snapshot
+	// carries the serial baseline and the speedup (or, on a starved CPU
+	// quota, the coordination overhead) side by side.
+	if opt.Shards > 1 {
+		benches = append(benches, []struct {
+			name string
+			fn   func(b *testing.B)
+		}{
+			{fmt.Sprintf("ModeNAT80G/HAL/shards%d", opt.Shards), modeBench(server.HAL, opt.Shards)},
+			{fmt.Sprintf("Table5/shards%d", opt.Shards), table5Bench(t5)},
+		}...)
 	}
 
 	snap := benchSnapshot{
-		Timestamp: time.Now().UTC().Format(time.RFC3339),
-		Quick:     quick,
-		Seed:      opt.Seed,
-		Repeat:    repeat,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Quick:      quick,
+		Seed:       opt.Seed,
+		Repeat:     repeat,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Shards:     opt.Shards,
+		Engine:     engineLabel(opt.Shards),
 	}
 	for _, nb := range benches {
 		var best benchResult
@@ -164,6 +204,26 @@ func compareBaseline(cur benchSnapshot, baselinePath string) error {
 	if base.Quick != cur.Quick {
 		fmt.Printf("note: baseline quick=%v, this run quick=%v — deltas are indicative only\n",
 			base.Quick, cur.Quick)
+	}
+	// Engine-mode mismatch: a serial baseline against a parallel run (or
+	// different shard counts) compares two different execution strategies.
+	// Warn loudly but still diff — cross-mode comparison is exactly how the
+	// parallel engine's speedup is measured, it just must never be silent.
+	// Old snapshots predate the engine field; treat absence as serial.
+	baseEngine, curEngine := base.Engine, cur.Engine
+	if baseEngine == "" {
+		baseEngine = engineLabel(base.Shards)
+	}
+	if curEngine == "" {
+		curEngine = engineLabel(cur.Shards)
+	}
+	if baseEngine != curEngine || base.Shards != cur.Shards {
+		fmt.Printf("WARNING: engine mode mismatch — baseline %s (shards=%d), this run %s (shards=%d); deltas measure the engines, not a regression\n",
+			baseEngine, base.Shards, curEngine, cur.Shards)
+	}
+	if base.GoMaxProcs != 0 && base.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Printf("note: baseline GOMAXPROCS=%d, this run GOMAXPROCS=%d\n",
+			base.GoMaxProcs, cur.GoMaxProcs)
 	}
 	baseBy := make(map[string]benchResult, len(base.Results))
 	for _, r := range base.Results {

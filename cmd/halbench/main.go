@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	halbench [-quick] [-seed N] [-csv] [-cpuprofile f] [-memprofile f] [experiment ...]
+//	halbench [-quick] [-seed N] [-shards N] [-csv] [-cpuprofile f] [-memprofile f] [experiment ...]
 //
 // With no experiment arguments it runs all of them. Valid names: tab1,
 // fig2, fig3, fig4, fig5, fig8, fig9, fig10, tab2, tab5, costs, ablation,
@@ -16,6 +16,11 @@
 // Passing -baseline BENCH_x.json additionally diffs the fresh snapshot
 // against the stored one and exits nonzero on a >25% ns/op regression (or
 // any allocation growth on a previously zero-alloc benchmark).
+//
+// -shards N (N > 1) runs every simulation on the conservative-parallel
+// engine; results are byte-identical to serial runs, only wall time
+// changes. Snapshots record GOMAXPROCS, the shard count, and the engine
+// mode, and -baseline warns when the two snapshots' modes differ.
 package main
 
 import (
@@ -47,6 +52,7 @@ func emit(t experiments.Table) {
 func main() {
 	quick := flag.Bool("quick", false, "shorter simulations (noisier numbers)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	shards := flag.Int("shards", 0, "run simulations on the parallel engine with this many shards (0/1 = serial; results are byte-identical)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -61,10 +67,10 @@ func main() {
 	}
 	emitCSV = *csv
 	// run returns instead of calling os.Exit so the profile defers flush.
-	os.Exit(run(*quick, *seed, *benchN, *cpuprofile, *memprofile, *benchOut, *baseline, flag.Args()))
+	os.Exit(run(*quick, *seed, *shards, *benchN, *cpuprofile, *memprofile, *benchOut, *baseline, flag.Args()))
 }
 
-func run(quick bool, seed int64, benchN int, cpuprofile, memprofile, benchOut, baseline string, names []string) int {
+func run(quick bool, seed int64, shards, benchN int, cpuprofile, memprofile, benchOut, baseline string, names []string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -92,7 +98,7 @@ func run(quick bool, seed int64, benchN int, cpuprofile, memprofile, benchOut, b
 		}()
 	}
 
-	opt := experiments.Options{Seed: seed}
+	opt := experiments.Options{Seed: seed, Shards: shards}
 	if quick {
 		opt.Duration = 80 * sim.Millisecond
 		opt.TraceDuration = 200 * sim.Millisecond

@@ -9,6 +9,7 @@
 //	halsim -mode slb -fn NAT -rate 80 -slb-cores 4 -slb-th 20
 //	halsim -mode hal -fn NAT -rate 60 -fault core-crash -fault-cores 4
 //	halsim -mode hal -fn NAT -rate 80 -timeline run.csv -trace-out run.trace.json
+//	halsim -mode hal -fn NAT -rate 80 -duration 1s -shards 4
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		workload = flag.String("workload", "", "web | cache | hadoop datacenter trace")
 		duration = flag.Duration("duration", 300*time.Millisecond, "simulated duration")
 		seed     = flag.Int64("seed", 1, "simulation seed")
+		shards   = flag.Int("shards", 0, "run on the conservative-parallel engine with this many shards (0/1 = serial; results are byte-identical)")
 		useCXL   = flag.Bool("cxl", false, "attach the SNIC over CXL (coherent shared state)")
 		slbCores = flag.Int("slb-cores", 4, "SLB forwarding cores (slb mode)")
 		slbTh    = flag.Float64("slb-th", 20, "SLB FwdTh in Gbps (slb mode)")
@@ -66,7 +68,7 @@ func main() {
 		return
 	}
 
-	cfg := server.Config{FnConfig: *fnCfg, Seed: *seed, Functional: *function}
+	cfg := server.Config{FnConfig: *fnCfg, Seed: *seed, Functional: *function, Shards: *shards}
 	switch strings.ToLower(*modeFlag) {
 	case "host":
 		cfg.Mode = server.HostOnly
@@ -178,6 +180,12 @@ func main() {
 	fmt.Printf("mode=%v fn=%v", res.Mode, res.Fn)
 	if cfg.PipelineOn {
 		fmt.Printf("+%v", cfg.Pipeline)
+	}
+	if *shards > 1 {
+		// Surface fallbacks: a Shards request the partition cannot host
+		// prints "serial (reason)" here instead of silently differing in
+		// wall time only.
+		fmt.Printf(" engine=%s", res.Engine)
 	}
 	fmt.Println()
 	fmt.Printf("  offered     %8.2f Gbps\n", res.OfferedGbps)

@@ -21,8 +21,10 @@ var updateGolden = flag.Bool("update", false, "rewrite golden fixtures from the 
 // container/heap-based engine and must keep matching after hot-path
 // refactors. The telemetry config is applied to every run: the observability
 // layer is read-only by contract, so the SAME fixture must hold whether it
-// is off (zero value) or fully on.
-func goldenRuns(t *testing.T, tel halsim.TelemetryConfig) string {
+// is off (zero value) or fully on. Likewise shards: the conservative-
+// parallel engine (shards > 1) must reproduce the serial fixture
+// byte-for-byte.
+func goldenRuns(t *testing.T, tel halsim.TelemetryConfig, shards int) string {
 	t.Helper()
 	var b strings.Builder
 	line := func(name string, res halsim.Result) {
@@ -36,7 +38,7 @@ func goldenRuns(t *testing.T, tel halsim.TelemetryConfig) string {
 	for _, mode := range []halsim.Mode{halsim.HostOnly, halsim.SNICOnly, halsim.HAL} {
 		for _, fn := range []halsim.FnID{halsim.NAT, halsim.REM} {
 			res, err := halsim.Run(
-				halsim.Config{Mode: mode, Fn: fn, Seed: 7, Telemetry: tel},
+				halsim.Config{Mode: mode, Fn: fn, Seed: 7, Telemetry: tel, Shards: shards},
 				halsim.RunConfig{Duration: 8 * halsim.Millisecond, RateGbps: 60})
 			if err != nil {
 				t.Fatalf("%v/%v: %v", mode, fn, err)
@@ -47,7 +49,7 @@ func goldenRuns(t *testing.T, tel halsim.TelemetryConfig) string {
 
 	// SLB exercises the forwarding-core path and director credit loop.
 	res, err := halsim.Run(
-		halsim.Config{Mode: halsim.SLB, Fn: halsim.NAT, SLBCores: 1, SLBFwdThGbps: 30, Seed: 7, Telemetry: tel},
+		halsim.Config{Mode: halsim.SLB, Fn: halsim.NAT, SLBCores: 1, SLBFwdThGbps: 30, Seed: 7, Telemetry: tel, Shards: shards},
 		halsim.RunConfig{Duration: 8 * halsim.Millisecond, RateGbps: 60})
 	if err != nil {
 		t.Fatal(err)
@@ -56,7 +58,7 @@ func goldenRuns(t *testing.T, tel halsim.TelemetryConfig) string {
 
 	// Trace-modulated workload exercises the epoch re-draw path.
 	res, err = halsim.Run(
-		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 7, Telemetry: tel},
+		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 7, Telemetry: tel, Shards: shards},
 		halsim.RunConfig{Duration: 16 * halsim.Millisecond, Workload: &halsim.Workloads[2]})
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +67,7 @@ func goldenRuns(t *testing.T, tel halsim.TelemetryConfig) string {
 
 	// Pipelined two-function setup (two stations per side).
 	res, err = halsim.Run(
-		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Pipeline: halsim.Count, PipelineOn: true, Seed: 7, Telemetry: tel},
+		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Pipeline: halsim.Count, PipelineOn: true, Seed: 7, Telemetry: tel, Shards: shards},
 		halsim.RunConfig{Duration: 8 * halsim.Millisecond, RateGbps: 40})
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +78,7 @@ func goldenRuns(t *testing.T, tel halsim.TelemetryConfig) string {
 	plan := halsim.NewFaultPlan(7).
 		CrashSNICCores(2*halsim.Millisecond, 5*halsim.Millisecond, 2)
 	res, err = halsim.Run(
-		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 7, Faults: plan, Telemetry: tel},
+		halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 7, Faults: plan, Telemetry: tel, Shards: shards},
 		halsim.RunConfig{Duration: 8 * halsim.Millisecond, RateGbps: 60, Drain: true,
 			PhaseMarks: []halsim.Time{2 * halsim.Millisecond, 5 * halsim.Millisecond}})
 	if err != nil {
@@ -94,7 +96,7 @@ func goldenRuns(t *testing.T, tel halsim.TelemetryConfig) string {
 // fixture: same seed + config must produce byte-identical results across
 // refactors of the hot path (value-type event heap, packet pooling).
 func TestGoldenDeterminism(t *testing.T) {
-	got := goldenRuns(t, halsim.TelemetryConfig{})
+	got := goldenRuns(t, halsim.TelemetryConfig{}, 0)
 	path := filepath.Join("testdata", "golden_runs.txt")
 	if *updateGolden {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
@@ -123,7 +125,7 @@ func TestGoldenDeterminismTelemetryOn(t *testing.T) {
 	if *updateGolden {
 		t.Skip("fixture is written by TestGoldenDeterminism")
 	}
-	got := goldenRuns(t, halsim.TelemetryConfig{Timeline: true, TraceEvery: 64})
+	got := goldenRuns(t, halsim.TelemetryConfig{Timeline: true, TraceEvery: 64}, 0)
 	path := filepath.Join("testdata", "golden_runs.txt")
 	want, err := os.ReadFile(path)
 	if err != nil {
@@ -131,5 +133,43 @@ func TestGoldenDeterminismTelemetryOn(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Fatalf("telemetry perturbed the simulation: output diverged from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenDeterminismParallel runs the whole battery on the conservative-
+// parallel engine (three lookahead-partitioned logical processes plus a
+// control process) and compares against the SAME serial fixture: the
+// partition is only admissible because it is bit-exact.
+func TestGoldenDeterminismParallel(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixture is written by TestGoldenDeterminism")
+	}
+	got := goldenRuns(t, halsim.TelemetryConfig{}, 4)
+	path := filepath.Join("testdata", "golden_runs.txt")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("parallel engine diverged from serial fixture %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenDeterminismParallelTelemetryOn stacks both invariants: sharded
+// execution with every collector enabled must still reproduce the serial,
+// telemetry-off fixture byte-for-byte (per-LP tracers merge by order key;
+// samplers read only barrier-consistent state).
+func TestGoldenDeterminismParallelTelemetryOn(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixture is written by TestGoldenDeterminism")
+	}
+	got := goldenRuns(t, halsim.TelemetryConfig{Timeline: true, TraceEvery: 64}, 4)
+	path := filepath.Join("testdata", "golden_runs.txt")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("parallel engine with telemetry diverged from serial fixture %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
 	}
 }

@@ -7,11 +7,14 @@ package experiments
 
 import (
 	"fmt"
+	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"halsim/internal/server"
 	"halsim/internal/sim"
 )
 
@@ -26,6 +29,12 @@ type Options struct {
 	TraceDuration sim.Time
 	// Seed makes every run deterministic.
 	Seed int64
+	// Shards selects the simulation engine for every run the drivers
+	// launch: 0 or 1 is the serial engine, > 1 the conservative-parallel
+	// engine (see server.Config.Shards). Results are byte-identical
+	// either way; configurations the parallel partition cannot host fall
+	// back to serial silently.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -88,7 +97,31 @@ func (t Table) Render() string {
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 
-// parMap runs f(0..n-1) with bounded parallelism (one worker per CPU) and
+// runServer is the one funnel every driver launches simulator runs through:
+// it applies the engine selection from Options, so a sharded halbench
+// invocation shards every run of every table and figure.
+func runServer(opt Options, cfg server.Config, rc server.RunConfig) (server.Result, error) {
+	cfg.Shards = opt.Shards
+	return server.Run(cfg, rc)
+}
+
+// parWorkers is the experiment fan-out width: the HAL_PARALLELISM
+// environment variable when set to a positive integer, else the effective
+// GOMAXPROCS. GOMAXPROCS(0) — unlike runtime.NumCPU — respects container
+// CPU quotas and an explicit GOMAXPROCS override, so a quota-limited CI
+// job no longer oversubscribes its slice with one goroutine per physical
+// core. HAL_PARALLELISM=1 forces sequential driver execution (handy when
+// profiling a single run).
+func parWorkers() int {
+	if s := os.Getenv("HAL_PARALLELISM"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parMap runs f(0..n-1) with bounded parallelism (parWorkers wide) and
 // returns the lowest-index error. Simulation runs are independent and
 // internally deterministic, so fanning them out changes wall time only —
 // including the error: indices are claimed in increasing order and every
@@ -97,7 +130,7 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 // returned, no matter how goroutines interleave. Once any call fails,
 // workers stop claiming new indices instead of draining the remaining work.
 func parMap(n int, f func(i int) error) error {
-	workers := runtime.NumCPU()
+	workers := parWorkers()
 	if workers > n {
 		workers = n
 	}

@@ -130,7 +130,7 @@ func Faults(opt Options) (FaultsResult, error) {
 		}
 		plan := fault.NewPlan(opt.Seed)
 		c.plan(plan, from, to)
-		res, err := server.Run(
+		res, err := runServer(opt,
 			server.Config{Mode: server.HAL, Fn: c.fn, Faults: plan, Seed: opt.Seed},
 			server.RunConfig{
 				Duration:   dur,

@@ -3,10 +3,57 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
 )
+
+// TestParWorkers pins the pool-sizing contract: HAL_PARALLELISM overrides
+// when it is a positive integer, anything else falls back to the effective
+// GOMAXPROCS (which, unlike NumCPU, tracks container quotas and explicit
+// caps).
+func TestParWorkers(t *testing.T) {
+	cases := []struct {
+		env  string
+		want int
+	}{
+		{"", runtime.GOMAXPROCS(0)},
+		{"3", 3},
+		{"1", 1},
+		{"0", runtime.GOMAXPROCS(0)},    // non-positive: ignored
+		{"-2", runtime.GOMAXPROCS(0)},   // non-positive: ignored
+		{"many", runtime.GOMAXPROCS(0)}, // non-numeric: ignored
+		{"2.5", runtime.GOMAXPROCS(0)},  // non-integer: ignored
+	}
+	for _, tc := range cases {
+		t.Setenv("HAL_PARALLELISM", tc.env)
+		if got := parWorkers(); got != tc.want {
+			t.Errorf("HAL_PARALLELISM=%q: parWorkers() = %d, want %d", tc.env, got, tc.want)
+		}
+	}
+}
+
+// TestParMapHonorsParallelismOverride checks the override actually bounds
+// concurrency: with HAL_PARALLELISM=1 the map degenerates to a sequential
+// loop, so tasks never overlap.
+func TestParMapHonorsParallelismOverride(t *testing.T) {
+	t.Setenv("HAL_PARALLELISM", "1")
+	var inFlight, maxInFlight atomic.Int64
+	if err := parMap(32, func(i int) error {
+		if v := inFlight.Add(1); v > maxInFlight.Load() {
+			maxInFlight.Store(v)
+		}
+		time.Sleep(100 * time.Microsecond)
+		inFlight.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if maxInFlight.Load() != 1 {
+		t.Fatalf("max in-flight = %d, want 1 under HAL_PARALLELISM=1", maxInFlight.Load())
+	}
+}
 
 // TestParMapLowestIndexError pins the determinism contract: whichever
 // goroutine finishes first, the error returned is always the one from the

@@ -1,0 +1,215 @@
+package server
+
+// Conservative-parallel execution of a run (Config.Shards > 1).
+//
+// The simulation decomposes into four logical processes along the paper's
+// physical boundaries — every link between them carries real modeled
+// latency, which is what gives the conservative protocol its lookahead:
+//
+//	net   the client, the eSwitch's client-facing side, and HAL's
+//	      ingress blocks (monitor + director run at wire arrival)
+//	snic  the SNIC processor stations (and SLB's forwarding cores)
+//	host  the host processor stations (and SLB-host's forwarding cores)
+//	ctrl  periodic tickers, fault injection, the HAL merger, and
+//	      response delivery back to the client
+//
+// Requests hop net→side across the PCIe/eSwitch crossing (≥ the mode's
+// lookahead); completed responses hop side→ctrl with sub-lookahead egress
+// latency, which the executor late-applies in exact key order (control
+// handlers never schedule, satisfying the RunAsOf contract: forwarding a
+// response runs the switch and the delivery hook inline). All control work
+// executes at window barriers while the shard goroutines are parked, so the
+// shared reads a serial run performs at tick instants (ring occupancy,
+// window-byte harvesting, sleep-state checks) observe exactly the state a
+// serial run would at that instant — the window bound never passes the next
+// control event.
+//
+// Determinism: every event carries the composite (schedule-time, rank,
+// counter) seq key of the engine that scheduled it, cross-LP messages are
+// stamped by the sender, and same-instant events across engines merge by
+// key at barriers — reproducing the serial engine's order bit-for-bit, so
+// Result, goldens, timelines, and traces are byte-identical to a serial
+// run of the same configuration.
+
+import (
+	"halsim/internal/fault"
+	"halsim/internal/packet"
+	"halsim/internal/platform"
+	"halsim/internal/sim"
+	"halsim/internal/sim/par"
+)
+
+// Shard indices of the parallel executor's worker array; ctrl is addressed
+// by the executor's reserved destination.
+const (
+	shardNet  = 0
+	shardSNIC = 1
+	shardHost = 2
+	shardCtrl = par.CtrlDst
+)
+
+// Engine ranks: the tie-break order for events scheduled by different
+// engines at the same instant with the same schedule time. Serial runs
+// break those ties by global registration order, and the serial code
+// registers control work (build-time fault arming, start()'s tickers)
+// before the client's, so ctrl outranks net; the sides only schedule in
+// reaction to traffic and come last.
+const (
+	rankCtrl = 0
+	rankNet  = 1
+	rankSNIC = 2
+	rankHost = 3
+)
+
+// sideShard maps a sideTotals index to its shard.
+func sideShard(side int) int {
+	if side == sideSNIC {
+		return shardSNIC
+	}
+	return shardHost
+}
+
+// parRun holds the parallel executor of a sharded run.
+type parRun struct {
+	x *par.Exec
+}
+
+// setupSerial aliases every per-domain engine and pool handle to a single
+// instance: the exact pre-split serial simulator, one queue and one
+// free-list, with the default rank 0 on every seq key.
+func (r *run) setupSerial() {
+	e := sim.NewEngine()
+	r.engCtrl, r.engNet, r.engSNIC, r.engHost = e, e, e, e
+	r.engines = []*sim.Engine{e}
+	p := packet.NewPool()
+	r.poolNet, r.poolSNIC, r.poolHost, r.poolCtrl = p, p, p, p
+}
+
+// setupParallel gives each logical process its own ranked engine and packet
+// pool and wires the conservative executor over them.
+func (r *run) setupParallel() {
+	r.engCtrl, r.engNet = sim.NewEngine(), sim.NewEngine()
+	r.engSNIC, r.engHost = sim.NewEngine(), sim.NewEngine()
+	r.engCtrl.SetRank(rankCtrl)
+	r.engNet.SetRank(rankNet)
+	r.engSNIC.SetRank(rankSNIC)
+	r.engHost.SetRank(rankHost)
+	r.engines = []*sim.Engine{r.engCtrl, r.engNet, r.engSNIC, r.engHost}
+	r.poolNet, r.poolSNIC = packet.NewPool(), packet.NewPool()
+	r.poolHost, r.poolCtrl = packet.NewPool(), packet.NewPool()
+	r.par = &parRun{x: par.New(r.engCtrl,
+		[]*sim.Engine{r.engNet, r.engSNIC, r.engHost}, lookaheadFor(r.cfg.Mode))}
+}
+
+// lookaheadFor is the minimum latency of any worker→worker link in a mode's
+// topology: the PCIe crossing to the SNIC, or the longer host crossing when
+// requests only ever target the host.
+func lookaheadFor(mode Mode) sim.Time {
+	switch mode {
+	case HostOnly, SLBHost:
+		return platform.PCIeCrossNS + platform.SNICCloserNS
+	default:
+		return platform.PCIeCrossNS
+	}
+}
+
+// parallelFallback reports why a configuration must run on the serial
+// engine, or "" when the parallel partition is sound. Each reason names
+// state that two logical processes would mutate in an order the barriers
+// cannot fix.
+func parallelFallback(cfg Config) string {
+	if cfg.Functional {
+		return "functional processing shares one function instance across sides"
+	}
+	if cfg.Fabric != nil {
+		return "coherent-fabric state accesses interleave across sides"
+	}
+	if cfg.Faults != nil {
+		snicRx, hostRx := false, false
+		for _, e := range cfg.Faults.Events {
+			switch e.Kind {
+			case fault.SNICRxDrop:
+				snicRx = true
+			case fault.HostRxDrop:
+				hostRx = true
+			}
+		}
+		if snicRx && hostRx {
+			return "rx-drop faults on both sides draw from one RNG stream"
+		}
+	}
+	return ""
+}
+
+// engineName is Result.Engine.
+func (r *run) engineName() string {
+	if r.par != nil {
+		return "parallel"
+	}
+	if r.cfg.Shards > 1 && r.fallback != "" {
+		return "serial (" + r.fallback + ")"
+	}
+	return "serial"
+}
+
+// hop schedules call(p) at absolute instant at in dst's domain on behalf of
+// src's. Serially every domain aliases the one engine, so this is the plain
+// AtCall the pre-split code issued; in parallel it becomes a cross-LP
+// message stamped with the sender's seq key, so the delivered event splices
+// into the destination wheel exactly where a serial schedule would sit.
+func (r *run) hop(src, dst int, at sim.Time, call sim.Call, p *packet.Packet) {
+	if r.par == nil {
+		r.engCtrl.AtCall(at, call, p, 0)
+		return
+	}
+	r.par.x.Send(src, dst, at, r.shardEng(src).AllocSeq(), call, p, 0)
+}
+
+// shardEng returns the engine owning a shard index.
+func (r *run) shardEng(s int) *sim.Engine {
+	switch s {
+	case shardNet:
+		return r.engNet
+	case shardSNIC:
+		return r.engSNIC
+	case shardHost:
+		return r.engHost
+	default:
+		return r.engCtrl
+	}
+}
+
+// runParallel is the sharded counterpart of the serial RunUntil(+drain).
+func (r *run) runParallel() {
+	x := r.par.x
+	x.Start()
+	defer x.Shutdown()
+	x.AdvanceTo(r.rc.Duration)
+	if r.rc.Drain {
+		// The final barrier parked every shard at Duration; the coordinator
+		// owns all state, so stopping the client and cancelling the tickers
+		// here lands at exactly the instant the serial drain does it.
+		r.cli.stop()
+		for _, t := range r.tickers {
+			t.Cancel()
+		}
+		x.DrainAll()
+	}
+}
+
+// completedTotal sums the per-side completion counters. At the barrier
+// instants where control work reads it, the sum equals the serial scalar.
+func (r *run) completedTotal() uint64 {
+	return r.acc[sideSNIC].completed + r.acc[sideHost].completed
+}
+
+// processedTotal sums executed events across the run's distinct engines;
+// serial and parallel runs execute the same event population, so the sum is
+// engine-invariant at barrier instants.
+func (r *run) processedTotal() uint64 {
+	var n uint64
+	for _, e := range r.engines {
+		n += e.Processed()
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"halsim/internal/fault"
+	"halsim/internal/nf"
+	"halsim/internal/sim"
+	"halsim/internal/telemetry"
+)
+
+// resultFields renders every scalar Result field with %v for byte-exact
+// comparison. The artifact pointers (Timeline, Trace, Metrics) are compared
+// separately by serialized bytes; Engine is the one field that is SUPPOSED
+// to differ between a serial and a parallel run.
+func resultFields(res Result) string {
+	v := reflect.ValueOf(res)
+	tp := v.Type()
+	var b strings.Builder
+	for i := 0; i < tp.NumField(); i++ {
+		switch tp.Field(i).Name {
+		case "Timeline", "Trace", "Metrics", "Engine":
+			continue
+		}
+		fmt.Fprintf(&b, "%s=%v\n", tp.Field(i).Name, v.Field(i).Interface())
+	}
+	return b.String()
+}
+
+// artifactBytes serializes every telemetry artifact a run produced. Exports
+// are the user-visible surface of the collectors, so the parallel engine's
+// merged tracer and barrier-sampled timeline must reproduce them exactly.
+func artifactBytes(t *testing.T, res Result) string {
+	t.Helper()
+	var b bytes.Buffer
+	if res.Timeline != nil {
+		if err := res.Timeline.WriteCSV(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Timeline.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Trace != nil {
+		fmt.Fprintf(&b, "truncated=%d\n", res.Trace.Truncated)
+		if err := res.Trace.WriteTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if res.Metrics != nil {
+		if err := res.Metrics.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// bothEngines runs one configuration serially and sharded and asserts every
+// result field and every serialized artifact is byte-identical.
+func bothEngines(t *testing.T, name string, cfg Config, rc RunConfig) {
+	t.Helper()
+	ser, err := Run(cfg, rc)
+	if err != nil {
+		t.Fatalf("%s serial: %v", name, err)
+	}
+	cfg.Shards = 4
+	par, err := Run(cfg, rc)
+	if err != nil {
+		t.Fatalf("%s parallel: %v", name, err)
+	}
+	if par.Engine != "parallel" {
+		t.Fatalf("%s: engine = %q, want parallel", name, par.Engine)
+	}
+	if a, b := resultFields(ser), resultFields(par); a != b {
+		t.Errorf("%s: results diverged\nserial:\n%s\nparallel:\n%s", name, a, b)
+	}
+	if a, b := artifactBytes(t, ser), artifactBytes(t, par); a != b {
+		t.Errorf("%s: telemetry artifacts diverged (serial %d bytes, parallel %d bytes)",
+			name, len(a), len(b))
+	}
+}
+
+// TestParallelMatchesSerialProperty replays a battery of randomized
+// workloads — every mode, faults on and off, telemetry on and off, drains,
+// phases, pipelines — through both engines. The parallel partition's whole
+// admission criterion is bit-exactness, so any scheduling or RNG-order
+// drift fails loudly here.
+func TestParallelMatchesSerialProperty(t *testing.T) {
+	modes := []Mode{HostOnly, SNICOnly, HAL, SLB, SLBHost}
+	fns := []nf.ID{nf.NAT, nf.KVS, nf.Count, nf.REM}
+	rng := rand.New(rand.NewSource(20260805))
+	for i := 0; i < 8; i++ {
+		cfg := Config{
+			Mode: modes[rng.Intn(len(modes))],
+			Fn:   fns[rng.Intn(len(fns))],
+			Seed: rng.Int63n(1000),
+		}
+		if cfg.Mode == SLB || cfg.Mode == SLBHost {
+			cfg.SLBCores = 1 + rng.Intn(3)
+			cfg.SLBFwdThGbps = 20 + 10*float64(rng.Intn(3))
+		}
+		if rng.Intn(3) == 0 && cfg.Mode != SLB && cfg.Mode != SLBHost {
+			cfg.Pipeline, cfg.PipelineOn = nf.Count, true
+		}
+		rc := RunConfig{
+			Duration: sim.Time(4+rng.Intn(5)) * sim.Millisecond,
+			RateGbps: 30 + 15*float64(rng.Intn(4)),
+			Drain:    rng.Intn(2) == 0,
+		}
+		if rng.Intn(2) == 0 {
+			cfg.Telemetry = telemetry.Config{Timeline: true, TraceEvery: 16}
+		}
+		if rng.Intn(2) == 0 {
+			mid := rc.Duration / 2
+			cfg.Faults = fault.NewPlan(cfg.Seed).
+				CrashSNICCores(mid/2, mid, 1).
+				DropHostRx(mid, rc.Duration-sim.Millisecond, 0.02)
+			rc.PhaseMarks = []sim.Time{mid / 2, mid}
+		}
+		name := fmt.Sprintf("case%d(%v/%v)", i, cfg.Mode, cfg.Fn)
+		bothEngines(t, name, cfg, rc)
+	}
+}
+
+// TestParallelFallback pins the configurations that must decline the
+// sharded engine: they share mutable state across logical processes, and
+// the run must silently execute serially — same results, explanatory
+// Engine label.
+func TestParallelFallback(t *testing.T) {
+	rc := RunConfig{Duration: 2 * sim.Millisecond, RateGbps: 40}
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"functional", Config{Mode: HAL, Fn: nf.NAT, Seed: 3, Functional: true}},
+		{"both-side-rxdrop", Config{Mode: HAL, Fn: nf.NAT, Seed: 3,
+			Faults: fault.NewPlan(3).
+				DropSNICRx(sim.Millisecond/2, sim.Millisecond, 0.05).
+				DropHostRx(sim.Millisecond/2, sim.Millisecond, 0.05)}},
+	}
+	for _, tc := range cases {
+		ser, err := Run(tc.cfg, rc)
+		if err != nil {
+			t.Fatalf("%s serial: %v", tc.name, err)
+		}
+		tc.cfg.Shards = 4
+		fb, err := Run(tc.cfg, rc)
+		if err != nil {
+			t.Fatalf("%s fallback: %v", tc.name, err)
+		}
+		if !strings.HasPrefix(fb.Engine, "serial (") {
+			t.Fatalf("%s: engine = %q, want serial fallback with a reason", tc.name, fb.Engine)
+		}
+		if a, b := resultFields(ser), resultFields(fb); a != b {
+			t.Errorf("%s: fallback diverged from serial", tc.name)
+		}
+	}
+}
+
+// TestShardsValidation pins the Shards contract: negative counts are a
+// config error, 0/1 run serially, and a horizon beyond the composite seq
+// key's time range is rejected up front rather than panicking mid-run.
+func TestShardsValidation(t *testing.T) {
+	if _, err := Run(Config{Mode: HAL, Fn: nf.NAT, Shards: -1},
+		RunConfig{Duration: sim.Millisecond, RateGbps: 10}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+	res, err := Run(Config{Mode: HAL, Fn: nf.NAT, Shards: 1},
+		RunConfig{Duration: sim.Millisecond, RateGbps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine != "serial" {
+		t.Fatalf("Shards=1 engine = %q, want serial", res.Engine)
+	}
+	if _, err := Run(Config{Mode: HAL, Fn: nf.NAT, Shards: 4},
+		RunConfig{Duration: sim.SeqMaxTime + 1, RateGbps: 10}); err == nil {
+		t.Fatal("horizon beyond the seq-key time range accepted")
+	}
+}

@@ -146,6 +146,18 @@ type Config struct {
 	// Result is byte-identical either way.
 	Telemetry telemetry.Config
 
+	// Shards selects the simulation engine: 0 or 1 runs the serial
+	// single-engine simulator; any larger value opts into the
+	// conservative-parallel engine, which partitions the run into its
+	// natural logical processes (client+eSwitch/HLB, SNIC side, host
+	// side, control) on separate goroutines. The partition is fixed by
+	// the topology, so every value above 1 enables the same three-shard
+	// layout. Configurations whose components share mutable state across
+	// sides (see parallelFallback) silently fall back to the serial
+	// engine; Result.Engine reports what actually ran. Results are
+	// byte-identical either way.
+	Shards int
+
 	RingSize int
 	Seed     int64
 }
@@ -241,6 +253,13 @@ type Result struct {
 	Timeline *telemetry.Timeline
 	Trace    *telemetry.Tracer
 	Metrics  *telemetry.Registry
+
+	// Engine reports which simulation engine executed the run: "serial",
+	// "parallel" (Config.Shards > 1 honored), or "serial (reason)" when a
+	// Shards > 1 request fell back because the configuration shares mutable
+	// state across logical processes. Purely informational — results are
+	// byte-identical across engines.
+	Engine string
 }
 
 type sideStations struct {
@@ -334,37 +353,95 @@ func Run(cfg Config, rc RunConfig) (Result, error) {
 	if rc.RateWindow < 0 {
 		return Result{}, fmt.Errorf("server: negative rate window")
 	}
+	if cfg.Shards < 0 {
+		return Result{}, fmt.Errorf("server: negative shard count %d", cfg.Shards)
+	}
+	if rc.Duration > sim.SeqMaxTime {
+		return Result{}, fmt.Errorf("server: duration %v exceeds the engine's %v schedule horizon", rc.Duration, sim.SeqMaxTime)
+	}
 
-	r := &run{cfg: cfg, rc: rc, eng: sim.NewEngine()}
+	r := &run{cfg: cfg, rc: rc}
+	r.fallback = parallelFallback(cfg)
+	if cfg.Shards > 1 && r.fallback == "" {
+		r.setupParallel()
+	} else {
+		r.setupSerial()
+	}
 	if err := r.build(); err != nil {
 		return Result{}, err
 	}
 	r.start()
-	r.eng.RunUntil(rc.Duration)
-	if rc.Drain {
-		// Stop offering traffic and cancel every periodic process, then
-		// let the event queue empty: whatever is still queued or
-		// mid-service completes (or tail-drops), so the conservation
-		// audit closes exactly.
-		r.cli.stop()
-		for _, t := range r.tickers {
-			t.Cancel()
+	if r.par != nil {
+		r.runParallel()
+	} else {
+		r.engCtrl.RunUntil(rc.Duration)
+		if rc.Drain {
+			// Stop offering traffic and cancel every periodic process,
+			// then let the event queue empty: whatever is still queued or
+			// mid-service completes (or tail-drops), so the conservation
+			// audit closes exactly.
+			r.cli.stop()
+			for _, t := range r.tickers {
+				t.Cancel()
+			}
+			r.engCtrl.Run()
 		}
-		r.eng.Run()
 	}
 	return r.collect(), nil
+}
+
+// sideIdx indexes the per-side accumulators of a run.
+const (
+	sideSNIC = 0
+	sideHost = 1
+)
+
+// sideTotals are the completion-path counters one processing side owns.
+// Each side's station goroutine is the only writer of its struct; the
+// control plane reads sums at barrier instants, where they equal the serial
+// scalars exactly. Serial runs use the same two structs single-threaded.
+type sideTotals struct {
+	completed  uint64
+	deliveredB uint64 // post-warmup delivered bytes
+	sideB      uint64 // same, attributed to this side for SNICShare
+	winB       int64  // MaxGbps window accumulator
+	rateWinB   int64  // RateSeries window accumulator
+	// per-phase delivered bytes / completions, indexed like run.phases
+	phaseBytes     []uint64
+	phaseCompleted []uint64
 }
 
 // run holds the wired-up simulation.
 type run struct {
 	cfg Config
 	rc  RunConfig
-	eng *sim.Engine
 
-	// pool recycles packets for the whole run: requests are released on
-	// completion or at their drop point, responses after client delivery.
-	// Single-threaded LIFO reuse keeps replays bit-identical.
-	pool *packet.Pool
+	// One engine per logical process. A serial run aliases all four to a
+	// single engine, so every schedule lands in the one queue exactly as
+	// before; a parallel run gives each LP its own wheel and rank (control
+	// outranking net outranking SNIC outranking host, matching the serial
+	// build/registration order on key ties).
+	engCtrl *sim.Engine // tickers, fault injection, response delivery
+	engNet  *sim.Engine // client, eSwitch request forwarding, HLB ingress
+	engSNIC *sim.Engine // SNIC-side stations
+	engHost *sim.Engine // host-side stations
+	// engines lists the distinct engines (length 1 serial, 4 parallel) for
+	// whole-run aggregates like Processed.
+	engines []*sim.Engine
+
+	// par is the conservative-parallel executor, nil for serial runs.
+	par *parRun
+	// fallback records why a Shards>1 request ran serially ("" otherwise).
+	fallback string
+
+	// Per-LP packet pools: requests are released on completion or at their
+	// drop point, responses after client delivery. LIFO reuse within each
+	// single-threaded LP keeps replays bit-identical; a serial run aliases
+	// all four to one pool, restoring the original global free-list.
+	poolNet  *packet.Pool
+	poolSNIC *packet.Pool
+	poolHost *packet.Pool
+	poolCtrl *packet.Pool
 
 	// Pre-bound event handlers for closure-free scheduling on the packet
 	// path (sim.ScheduleCall): each is allocated once per run and carries
@@ -408,32 +485,37 @@ type run struct {
 	telemetryDown bool
 
 	// observability (all nil/zero with Config.Telemetry off; every hook
-	// site nil-checks the specific field it feeds)
+	// site nil-checks the specific field it feeds). Tracers follow the
+	// engine split: each LP emits spans into its own tracer so the hot path
+	// never crosses goroutines; a serial run aliases all four to the single
+	// collector tracer, a parallel run merges them back into serial emission
+	// order at collect time.
 	col           *telemetry.Collector
 	tl            *telemetry.Timeline
-	tr            *telemetry.Tracer
+	trNet         *telemetry.Tracer
+	trSNIC        *telemetry.Tracer
+	trHost        *telemetry.Tracer
+	trCtrl        *telemetry.Tracer
 	tm            *telMetrics
 	telPeriod     sim.Time
 	telPrevSNICB  uint64
 	telPrevHostB  uint64
 	telPrevEvents uint64
 
-	// measurement
-	lat          *stats.Histogram
-	powerHost    energy.Integrator
-	powerSNIC    energy.Integrator
-	deliveredB   uint64
-	snicB, hostB uint64
-	winB         int64
-	winMaxGbps   float64
-	power        energy.Integrator
-	funcErrs     uint64
-	warmupEnd    sim.Time
-	completedAll uint64
-	phases       []phaseAcc
-	rateSeries   []float64
-	rateWinB     int64
-	tickers      []*sim.Ticker
+	// measurement. Completion-path counters live in acc, indexed by the
+	// processing side that owns them; everything else belongs to the control
+	// plane and is only touched at barrier-equivalent instants.
+	lat        *stats.Histogram
+	powerHost  energy.Integrator
+	powerSNIC  energy.Integrator
+	acc        [2]sideTotals
+	winMaxGbps float64
+	power      energy.Integrator
+	funcErrs   uint64
+	warmupEnd  sim.Time
+	phases     []phaseAcc
+	rateSeries []float64
+	tickers    []*sim.Ticker
 }
 
 func (r *run) profile(pl *platform.Platform, override *platform.FnProfile, fn nf.ID) platform.FnProfile {
@@ -445,26 +527,33 @@ func (r *run) profile(pl *platform.Platform, override *platform.FnProfile, fn nf
 
 func (r *run) build() error {
 	cfg := r.cfg
-	r.pool = packet.NewPool()
 	r.arriveSNICCall = func(a any, _ int64) { r.arriveSNIC(a.(*packet.Packet)) }
 	r.arriveHostCall = func(a any, _ int64) { r.arriveHost(a.(*packet.Packet)) }
 	r.halIngressCall = func(a any, _ int64) {
 		p := a.(*packet.Packet)
 		diverted := r.hal.Ingress(p)
-		if r.tr.Sampled(p.ID) {
+		if r.trNet.Sampled(p.ID) {
 			kind := telemetry.KindKeep
 			if diverted {
 				kind = telemetry.KindDivert
 			}
-			r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: kind,
+			r.trNet.Emit(telemetry.Span{T: r.engNet.Now(), Kind: kind,
 				Station: telemetry.StHLB, Core: -1, Pkt: p.ID})
 		}
-		r.fwdAt = r.eng.Now()
+		r.fwdAt = r.engNet.Now()
 		r.sw.Forward(p)
 	}
+	// forwardCall carries completed responses to the wire; it runs in the
+	// control domain (a parallel run routes every completion there), so the
+	// HAL merger — which must see host responses before the eSwitch does —
+	// applies here rather than at the completion site.
 	r.forwardCall = func(a any, _ int64) {
-		r.fwdAt = r.eng.Now()
-		r.sw.Forward(a.(*packet.Packet))
+		p := a.(*packet.Packet)
+		if r.hal != nil {
+			r.hal.Egress(p)
+		}
+		r.fwdAt = r.engCtrl.Now()
+		r.sw.Forward(p)
 	}
 	r.toSNICCall = func(a any, _ int64) { r.snic.first.enqueue(a.(*packet.Packet)) }
 	r.toHostCall = func(a any, _ int64) { r.host.first.enqueue(a.(*packet.Packet)) }
@@ -502,10 +591,10 @@ func (r *run) build() error {
 		snicProf = scaled
 	}
 
-	r.snic.first = newStation(r.eng, "snic", snicProf, cfg.RingSize, cfg.Seed+1)
-	r.host.first = newStation(r.eng, "host", hostProf, cfg.RingSize, cfg.Seed+2)
-	r.snic.first.release = r.pool.Put
-	r.host.first.release = r.pool.Put
+	r.snic.first = newStation(r.engSNIC, "snic", snicProf, cfg.RingSize, cfg.Seed+1)
+	r.host.first = newStation(r.engHost, "host", hostProf, cfg.RingSize, cfg.Seed+2)
+	r.snic.first.release = r.poolSNIC.Put
+	r.host.first.release = r.poolHost.Put
 	if cfg.MixOn {
 		sp := r.profile(cfg.SNIC, nil, cfg.MixFn)
 		hp := r.profile(cfg.Host, nil, cfg.MixFn)
@@ -513,10 +602,10 @@ func (r *run) build() error {
 		r.host.first.setAltProfile(&hp)
 	}
 	if cfg.PipelineOn {
-		r.snic.second = newStation(r.eng, "snic2", r.profile(cfg.SNIC, nil, cfg.Pipeline), cfg.RingSize, cfg.Seed+3)
-		r.host.second = newStation(r.eng, "host2", r.profile(cfg.Host, nil, cfg.Pipeline), cfg.RingSize, cfg.Seed+4)
-		r.snic.second.release = r.pool.Put
-		r.host.second.release = r.pool.Put
+		r.snic.second = newStation(r.engSNIC, "snic2", r.profile(cfg.SNIC, nil, cfg.Pipeline), cfg.RingSize, cfg.Seed+3)
+		r.host.second = newStation(r.engHost, "host2", r.profile(cfg.Host, nil, cfg.Pipeline), cfg.RingSize, cfg.Seed+4)
+		r.snic.second.release = r.poolSNIC.Put
+		r.host.second.release = r.poolHost.Put
 	}
 
 	// Coherent state access cost for stateful cooperative processing.
@@ -554,13 +643,16 @@ func (r *run) build() error {
 	}
 
 	// eSwitch wiring. The bind closures are allocated once; per-packet
-	// crossings schedule through the pre-bound handlers.
+	// crossings schedule through the pre-bound handlers. Requests reach
+	// PortSNIC/PortHost only from the net domain (the client-facing side of
+	// the switch), responses reach PortWire only from the control domain, so
+	// each bind hops from a statically known source LP.
 	r.sw = eswitch.New()
 	r.sw.Bind(eswitch.PortSNIC, func(p *packet.Packet) {
-		r.eng.AtCall(r.fwdAt+platform.PCIeCrossNS, r.arriveSNICCall, p, 0)
+		r.hop(shardNet, shardSNIC, r.fwdAt+platform.PCIeCrossNS, r.arriveSNICCall, p)
 	})
 	r.sw.Bind(eswitch.PortHost, func(p *packet.Packet) {
-		r.eng.AtCall(r.fwdAt+platform.PCIeCrossNS+platform.SNICCloserNS, r.arriveHostCall, p, 0)
+		r.hop(shardNet, shardHost, r.fwdAt+platform.PCIeCrossNS+platform.SNICCloserNS, r.arriveHostCall, p)
 	})
 	r.sw.Bind(eswitch.PortWire, func(p *packet.Packet) { r.deliverResponse(p) })
 
@@ -622,12 +714,12 @@ func (r *run) build() error {
 			OverheadNS:   100,
 			JitterMeanNS: 100,
 		}
-		r.slbFwd = newStation(r.eng, "host-fwd", fwdProf, cfg.RingSize, cfg.Seed+5)
-		r.slbFwd.release = r.pool.Put
+		r.slbFwd = newStation(r.engHost, "host-fwd", fwdProf, cfg.RingSize, cfg.Seed+5)
+		r.slbFwd.release = r.poolHost.Put
 		r.slbFwd.onServed = func(p *packet.Packet) {
 			// Host → eSwitch → SNIC: two more PCIe crossings and a
 			// second DPDK receive at the SNIC (§IV).
-			r.eng.ScheduleCall(2*platform.PCIeCrossNS, r.toSNICCall, p, 0)
+			r.hop(shardHost, shardSNIC, r.engHost.Now()+2*platform.PCIeCrossNS, r.toSNICCall, p)
 		}
 	}
 
@@ -642,12 +734,12 @@ func (r *run) build() error {
 			OverheadNS:   200,
 			JitterMeanNS: 200,
 		}
-		r.slbFwd = newStation(r.eng, "slb-fwd", fwdProf, cfg.RingSize, cfg.Seed+5)
-		r.slbFwd.release = r.pool.Put
+		r.slbFwd = newStation(r.engSNIC, "slb-fwd", fwdProf, cfg.RingSize, cfg.Seed+5)
+		r.slbFwd.release = r.poolSNIC.Put
 		r.slbFwd.onServed = func(p *packet.Packet) {
 			// Forwarded over the long path: SNIC memory → eSwitch →
 			// PCIe → host (§IV).
-			r.eng.ScheduleCall(2*platform.PCIeCrossNS, r.toHostCall, p, 0)
+			r.hop(shardSNIC, shardHost, r.engSNIC.Now()+2*platform.PCIeCrossNS, r.toHostCall, p)
 		}
 	}
 
@@ -673,7 +765,9 @@ func (r *run) build() error {
 	r.lat = stats.NewHistogram()
 	r.warmupEnd = r.rc.Warmup
 
-	// Phase accumulators: boundaries are [0, marks..., Duration].
+	// Phase accumulators: boundaries are [0, marks..., Duration]. The
+	// latency/power parts live on the control plane; delivered bytes and
+	// completions accrue side-locally in acc.
 	if len(r.rc.PhaseMarks) > 0 {
 		bounds := append([]sim.Time{0}, r.rc.PhaseMarks...)
 		bounds = append(bounds, r.rc.Duration)
@@ -682,12 +776,16 @@ func (r *run) build() error {
 				start: bounds[i], end: bounds[i+1], hist: stats.NewHistogram(),
 			})
 		}
+		for s := range r.acc {
+			r.acc[s].phaseBytes = make([]uint64, len(r.phases))
+			r.acc[s].phaseCompleted = make([]uint64, len(r.phases))
+		}
 	}
 
 	// Client.
 	r.cli = &client{
-		eng:           r.eng,
-		pool:          r.pool,
+		eng:           r.engNet,
+		pool:          r.poolNet,
 		warmupEnd:     r.warmupEnd,
 		genAlt:        genAlt,
 		mixFrac:       cfg.MixFraction,
@@ -717,13 +815,13 @@ func (r *run) build() error {
 // with burst coalescing it can lie ahead of the engine clock, so every
 // downstream hop is scheduled at an absolute at-relative time.
 func (r *run) ingress(p *packet.Packet, at sim.Time) {
-	if r.tr.Sampled(p.ID) {
-		r.tr.Emit(telemetry.Span{T: at, Kind: telemetry.KindIngress,
+	if r.trNet.Sampled(p.ID) {
+		r.trNet.Emit(telemetry.Span{T: at, Kind: telemetry.KindIngress,
 			Station: telemetry.StWire, Core: -1, Pkt: p.ID, Arg: int64(p.WireLen)})
 	}
 	switch r.cfg.Mode {
 	case HAL:
-		r.eng.AtCall(at+core.IngressLatency, r.halIngressCall, p, 0)
+		r.engNet.AtCall(at+core.IngressLatency, r.halIngressCall, p, 0)
 	default:
 		r.fwdAt = at
 		r.sw.Forward(p)
@@ -732,8 +830,8 @@ func (r *run) ingress(p *packet.Packet, at sim.Time) {
 
 // arriveSNIC handles a packet reaching the SNIC processor's rings.
 func (r *run) arriveSNIC(p *packet.Packet) {
-	if r.tr.Sampled(p.ID) {
-		r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindArrive,
+	if r.trSNIC.Sampled(p.ID) {
+		r.trSNIC.Emit(telemetry.Span{T: r.engSNIC.Now(), Kind: telemetry.KindArrive,
 			Station: telemetry.StSNIC, Core: -1, Pkt: p.ID})
 	}
 	if r.cfg.Mode == SLB {
@@ -749,8 +847,8 @@ func (r *run) arriveSNIC(p *packet.Packet) {
 
 // arriveHost handles a packet reaching the host's rings.
 func (r *run) arriveHost(p *packet.Packet) {
-	if r.tr.Sampled(p.ID) {
-		r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindArrive,
+	if r.trHost.Sampled(p.ID) {
+		r.trHost.Emit(telemetry.Span{T: r.engHost.Now(), Kind: telemetry.KindArrive,
 			Station: telemetry.StHost, Core: -1, Pkt: p.ID})
 	}
 	if r.cfg.Mode == SLBHost {
@@ -768,11 +866,16 @@ func (r *run) arriveHost(p *packet.Packet) {
 	r.host.first.enqueue(p)
 }
 
-// complete fires when the (last) function finishes a packet.
+// complete fires when the (last) function finishes a packet. It executes in
+// the processing side's domain and touches only that side's accumulator,
+// pool, and tracer; the response then hops to the control domain for the
+// merger and wire delivery.
 func (r *run) complete(p *packet.Packet, onSNIC bool) {
 	if r.cfg.Functional {
 		// Really execute the function(s): the first stage's output feeds
 		// the second, as in the paper's pipelined scenario (§VII-B).
+		// Functional runs always use the serial engine (parallelFallback),
+		// so funcErrs needs no per-side split.
 		out, err := r.fn.Process(p.Payload)
 		if err != nil {
 			r.funcErrs++
@@ -782,24 +885,25 @@ func (r *run) complete(p *packet.Packet, onSNIC bool) {
 			}
 		}
 	}
-	r.completedAll++
-	r.rateWinB += int64(p.WireLen)
-	if ph := r.phaseAt(sim.Time(p.CreatedAt)); ph != nil {
-		ph.bytes += uint64(p.WireLen)
-		ph.completed++
+	side, eng, pool, tr := sideHost, r.engHost, r.poolHost, r.trHost
+	if onSNIC {
+		side, eng, pool, tr = sideSNIC, r.engSNIC, r.poolSNIC, r.trSNIC
+	}
+	acc := &r.acc[side]
+	acc.completed++
+	acc.rateWinB += int64(p.WireLen)
+	if ph := r.phaseIdx(sim.Time(p.CreatedAt)); ph >= 0 {
+		acc.phaseBytes[ph] += uint64(p.WireLen)
+		acc.phaseCompleted[ph]++
 	}
 	if sim.Time(p.CreatedAt) >= r.warmupEnd {
-		r.deliveredB += uint64(p.WireLen)
-		r.winB += int64(p.WireLen)
-		if onSNIC {
-			r.snicB += uint64(p.WireLen)
-		} else {
-			r.hostB += uint64(p.WireLen)
-		}
+		acc.deliveredB += uint64(p.WireLen)
+		acc.winB += int64(p.WireLen)
+		acc.sideB += uint64(p.WireLen)
 	}
 	// Response: src is the processing side; the merger fixes host
 	// responses up before the wire.
-	resp := r.pool.Get(snicAddr, clientAddr, 9000, uint16(4000+p.ID%1000), nil)
+	resp := pool.Get(snicAddr, clientAddr, 9000, uint16(4000+p.ID%1000), nil)
 	if !onSNIC {
 		resp.SrcIP, resp.SrcMAC = hostAddr.IP, hostAddr.MAC
 	}
@@ -807,46 +911,45 @@ func (r *run) complete(p *packet.Packet, onSNIC bool) {
 	resp.CreatedAt = p.CreatedAt
 	resp.WireLen = 128
 	// The request is fully consumed; recycle it for a future arrival.
-	r.pool.Put(p)
+	pool.Put(p)
 	egress := sim.Time(200) // serialization toward the wire
 	if !onSNIC {
 		egress += platform.PCIeCrossNS
 	}
 	if r.cfg.Mode == HAL {
-		r.hal.Egress(resp)
 		egress += core.EgressLatency
-		if !onSNIC && r.tr.Sampled(resp.ID) {
-			r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindMerge,
+		if !onSNIC && tr.Sampled(resp.ID) {
+			tr.Emit(telemetry.Span{T: eng.Now(), Kind: telemetry.KindMerge,
 				Station: telemetry.StHLB, Core: -1, Pkt: resp.ID})
 		}
 	}
-	r.eng.ScheduleCall(egress, r.forwardCall, resp, 0)
+	r.hop(sideShard(side), shardCtrl, eng.Now()+egress, r.forwardCall, resp)
 }
 
 // deliverResponse records the client-observed round trip for packets
 // created inside the measurement window.
 func (r *run) deliverResponse(p *packet.Packet) {
 	if ph := r.phaseAt(sim.Time(p.CreatedAt)); ph != nil {
-		ph.hist.Record(int64(r.eng.Now()) - p.CreatedAt)
+		ph.hist.Record(int64(r.engCtrl.Now()) - p.CreatedAt)
 	}
 	if sim.Time(p.CreatedAt) >= r.warmupEnd {
-		r.lat.Record(int64(r.eng.Now()) - p.CreatedAt)
+		r.lat.Record(int64(r.engCtrl.Now()) - p.CreatedAt)
 	}
 	if r.tl != nil {
-		r.tl.RecordLatency(int64(r.eng.Now()) - p.CreatedAt)
+		r.tl.RecordLatency(int64(r.engCtrl.Now()) - p.CreatedAt)
 	}
-	if r.tr.Sampled(p.ID) {
-		r.tr.Emit(telemetry.Span{T: r.eng.Now(), Kind: telemetry.KindResponse,
+	if r.trCtrl.Sampled(p.ID) {
+		r.trCtrl.Emit(telemetry.Span{T: r.engCtrl.Now(), Kind: telemetry.KindResponse,
 			Station: telemetry.StWire, Core: -1, Pkt: p.ID,
-			Arg: int64(r.eng.Now()) - p.CreatedAt})
+			Arg: int64(r.engCtrl.Now()) - p.CreatedAt})
 	}
-	r.pool.Put(p)
+	r.poolCtrl.Put(p)
 }
 
 // every wraps Engine.Every so a drained run can cancel every periodic
-// process once the client stops.
+// process once the client stops. All periodic processes are control work.
 func (r *run) every(period sim.Time, fn func()) {
-	r.tickers = append(r.tickers, r.eng.Every(period, fn))
+	r.tickers = append(r.tickers, r.engCtrl.Every(period, fn))
 }
 
 func (r *run) start() {
@@ -902,7 +1005,7 @@ func (r *run) start() {
 				// side with empty rings and no busy cores counts as
 				// idle even if no core ever polled (no traffic yet).
 				if r.host.first.port.TotalBacklog() == 0 && !r.host.first.anyBusy() {
-					r.hostSleep.OnIdle(r.eng.Now())
+					r.hostSleep.OnIdle(r.engCtrl.Now())
 				}
 				hostAwake = !r.hostSleep.Asleep()
 			}
@@ -912,10 +1015,10 @@ func (r *run) start() {
 			snicActive = 0
 		}
 		idleW, hostW, snicW := cfg.SNIC.Power.Breakdown(hostAwake, hostGbps, snicGbps, snicActive)
-		r.power.Sample(r.eng.Now(), idleW+hostW+snicW)
-		r.powerHost.Sample(r.eng.Now(), hostW)
-		r.powerSNIC.Sample(r.eng.Now(), snicW)
-		if ph := r.phaseAt(r.eng.Now()); ph != nil {
+		r.power.Sample(r.engCtrl.Now(), idleW+hostW+snicW)
+		r.powerHost.Sample(r.engCtrl.Now(), hostW)
+		r.powerSNIC.Sample(r.engCtrl.Now(), snicW)
+		if ph := r.phaseAt(r.engCtrl.Now()); ph != nil {
 			ph.powerWSum += idleW + hostW + snicW
 			ph.powerN++
 		}
@@ -929,9 +1032,10 @@ func (r *run) start() {
 	// Delivered-rate time series (recovery analysis for fault runs).
 	if r.rc.RateWindow > 0 {
 		r.every(r.rc.RateWindow, func() {
+			b := r.acc[sideSNIC].rateWinB + r.acc[sideHost].rateWinB
 			r.rateSeries = append(r.rateSeries,
-				float64(r.rateWinB)*8/float64(r.rc.RateWindow))
-			r.rateWinB = 0
+				float64(b)*8/float64(r.rc.RateWindow))
+			r.acc[sideSNIC].rateWinB, r.acc[sideHost].rateWinB = 0, 0
 		})
 	}
 	// Delivered-rate windows for MaxGbps. Constant-rate runs use 10 ms;
@@ -943,15 +1047,15 @@ func (r *run) start() {
 		window = r.rc.Epoch
 	}
 	r.every(window, func() {
-		if r.eng.Now() <= r.warmupEnd {
-			r.winB = 0
+		winB := r.acc[sideSNIC].winB + r.acc[sideHost].winB
+		r.acc[sideSNIC].winB, r.acc[sideHost].winB = 0, 0
+		if r.engCtrl.Now() <= r.warmupEnd {
 			return
 		}
-		g := float64(r.winB) * 8 / float64(window)
+		g := float64(winB) * 8 / float64(window)
 		if g > r.winMaxGbps {
 			r.winMaxGbps = g
 		}
-		r.winB = 0
 	})
 	r.cli.start()
 }
@@ -963,9 +1067,11 @@ func (r *run) collect() Result {
 		Fn:        r.cfg.Fn,
 		Completed: r.lat.Count(),
 		Sent:      r.cli.sentPkts,
+		Engine:    r.engineName(),
 	}
+	deliveredB := r.acc[sideSNIC].deliveredB + r.acc[sideHost].deliveredB
 	if measured > 0 {
-		res.AvgGbps = float64(r.deliveredB) * 8 / float64(measured)
+		res.AvgGbps = float64(deliveredB) * 8 / float64(measured)
 	}
 	res.MaxGbps = r.winMaxGbps
 	if res.MaxGbps < res.AvgGbps {
@@ -992,8 +1098,8 @@ func (r *run) collect() Result {
 	if r.cli.sentPkts > 0 {
 		res.DropFraction = float64(drops+faultDrops) / float64(r.cli.sentPkts)
 	}
-	if total := r.snicB + r.hostB; total > 0 {
-		res.SNICShare = float64(r.snicB) / float64(total)
+	if total := r.acc[sideSNIC].sideB + r.acc[sideHost].sideB; total > 0 {
+		res.SNICShare = float64(r.acc[sideSNIC].sideB) / float64(total)
 	}
 	if r.hostSleep != nil {
 		res.Wakeups = r.hostSleep.Wakeups
@@ -1014,7 +1120,7 @@ func (r *run) collect() Result {
 	// packet either completed, dropped, or is still queued/in service. A
 	// drained run closes the ledger exactly (InFlightEnd == 0).
 	res.SentAll = r.cli.totalPkts
-	res.CompletedAll = r.completedAll
+	res.CompletedAll = r.completedTotal()
 	res.DroppedAll = drops + faultDrops
 	res.InFlightEnd = int64(res.SentAll) - int64(res.CompletedAll) - int64(res.DroppedAll)
 	res.FaultDrops = faultDrops
@@ -1028,15 +1134,16 @@ func (r *run) collect() Result {
 		res.LBPHolds = r.hal.Policy.Holds
 		res.FailoverTicks = r.hal.Policy.LastFailoverTicks
 	}
-	for _, ph := range r.phases {
+	for i, ph := range r.phases {
 		ps := PhaseStats{
 			Start:     ph.start,
 			End:       ph.end,
 			P99us:     float64(ph.hist.P99()) / 1000,
-			Completed: ph.completed,
+			Completed: r.acc[sideSNIC].phaseCompleted[i] + r.acc[sideHost].phaseCompleted[i],
 		}
+		bytes := r.acc[sideSNIC].phaseBytes[i] + r.acc[sideHost].phaseBytes[i]
 		if d := ph.end - ph.start; d > 0 {
-			ps.AvgGbps = float64(ph.bytes) * 8 / float64(d)
+			ps.AvgGbps = float64(bytes) * 8 / float64(d)
 		}
 		if ph.powerN > 0 {
 			ps.AvgPowerW = ph.powerWSum / float64(ph.powerN)
@@ -1049,7 +1156,14 @@ func (r *run) collect() Result {
 
 	if r.col != nil {
 		res.Timeline = r.tl
-		res.Trace = r.tr
+		res.Trace = r.trCtrl
+		if r.par != nil && r.trCtrl != nil {
+			// Interleave the per-LP tracers back into the order a serial run
+			// emits: each part holds the first cap spans of its own stream,
+			// so no span of the global first cap was lost to a part's bound.
+			res.Trace = telemetry.MergeTracers(r.trCtrl.Capacity(),
+				r.trCtrl, r.trNet, r.trSNIC, r.trHost)
+		}
 		res.Metrics = r.col.Registry
 		// Final sample so the registry's counters reflect the whole run
 		// (including a trailing partial tick or a drain phase).

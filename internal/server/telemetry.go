@@ -74,28 +74,46 @@ func (m *telMetrics) publish(s telemetry.Sample, sent uint64) {
 }
 
 // buildTelemetry constructs the run's collectors (nil when Config.Telemetry
-// is zero) and threads the tracer into every station.
+// is zero) and threads each LP's tracer into its stations. A serial run
+// aliases every tracer handle to the one collector tracer, reproducing the
+// single global emission stream; a parallel run gives each LP a private
+// tracer (each with the full capacity, so no span of the global first cap
+// is lost to a part's bound) bound to its engine's order key, and collect
+// merges them back into serial order.
 func (r *run) buildTelemetry() {
 	r.col = telemetry.New(r.cfg.Telemetry)
 	if r.col == nil {
 		return
 	}
 	r.tl = r.col.Timeline
-	r.tr = r.col.Tracer
 	r.tm = newTelMetrics(r.col.Registry)
 	r.telPeriod = r.cfg.Telemetry.WithDefaults().TimelinePeriod
 
-	if r.tr != nil {
-		r.snic.first.tr, r.snic.first.telID = r.tr, telemetry.StSNIC
-		r.host.first.tr, r.host.first.telID = r.tr, telemetry.StHost
+	if tr := r.col.Tracer; tr != nil {
+		r.trCtrl, r.trNet, r.trSNIC, r.trHost = tr, tr, tr, tr
+		if r.par != nil {
+			r.trNet = telemetry.NewTracer(tr.Every(), tr.Capacity())
+			r.trSNIC = telemetry.NewTracer(tr.Every(), tr.Capacity())
+			r.trHost = telemetry.NewTracer(tr.Every(), tr.Capacity())
+			r.trCtrl.BindOrder(r.engCtrl.OrderKey)
+			r.trNet.BindOrder(r.engNet.OrderKey)
+			r.trSNIC.BindOrder(r.engSNIC.OrderKey)
+			r.trHost.BindOrder(r.engHost.OrderKey)
+		}
+		r.snic.first.tr, r.snic.first.telID = r.trSNIC, telemetry.StSNIC
+		r.host.first.tr, r.host.first.telID = r.trHost, telemetry.StHost
 		if r.snic.second != nil {
-			r.snic.second.tr, r.snic.second.telID = r.tr, telemetry.StSNIC2
+			r.snic.second.tr, r.snic.second.telID = r.trSNIC, telemetry.StSNIC2
 		}
 		if r.host.second != nil {
-			r.host.second.tr, r.host.second.telID = r.tr, telemetry.StHost2
+			r.host.second.tr, r.host.second.telID = r.trHost, telemetry.StHost2
 		}
 		if r.slbFwd != nil {
-			r.slbFwd.tr, r.slbFwd.telID = r.tr, telemetry.StSLBFwd
+			fwdTr := r.trSNIC // SLB: forwarding cores live on the SNIC
+			if r.cfg.Mode == SLBHost {
+				fwdTr = r.trHost
+			}
+			r.slbFwd.tr, r.slbFwd.telID = fwdTr, telemetry.StSLBFwd
 		}
 	}
 }
@@ -111,7 +129,7 @@ func sideBytesDone(side *sideStations) uint64 { return side.first.bytesDone }
 // and registry. Reads only — the simulation cannot observe that it ran.
 func (r *run) sampleTelemetry() {
 	var s telemetry.Sample
-	s.T = r.eng.Now()
+	s.T = r.engCtrl.Now()
 
 	switch {
 	case r.hal != nil:
@@ -171,13 +189,13 @@ func (r *run) sampleTelemetry() {
 		s.Drops += st.port.TotalDrops()
 		s.FaultDrops += st.port.TotalFaultDrops() + st.faultDrops
 	}
-	s.Completed = r.completedAll
+	s.Completed = r.completedTotal()
 
 	s.PowerW = r.power.LastWatts()
 	s.HostPowerW = r.powerHost.LastWatts()
 	s.SNICPowerW = r.powerSNIC.LastWatts()
 
-	ev := r.eng.Processed()
+	ev := r.processedTotal()
 	s.Events = ev - r.telPrevEvents
 	r.telPrevEvents = ev
 

@@ -1,0 +1,348 @@
+// Package par runs a set of sim.Engine instances — one per logical process
+// (LP) — under a conservative, lookahead-partitioned synchronization
+// protocol, preserving the serial engine's bit-exact event order.
+//
+// # Model
+//
+// A simulation is partitioned into worker LPs (shards), each owning one
+// engine on its own goroutine, plus a control engine owned by the
+// coordinator. Shards exchange timestamped messages: a send appends to a
+// shard-local outbox and the coordinator delivers at the next barrier by
+// splicing into the destination wheel (Engine.InjectAt) under the sender-
+// drawn seq key, so a delivered event lands exactly where a serial run
+// would have scheduled it. Every cross-shard link must carry at least
+// Lookahead of latency: a message sent at time t arrives no earlier than
+// t+Lookahead, which is what makes windowed advancement safe.
+//
+// # Window protocol
+//
+// The coordinator repeats, from the current barrier time B:
+//
+//	M  := earliest pending event across all engines and undelivered
+//	      control messages
+//	B' := min(M+Lookahead, next control event, until)
+//	run each shard to B' exclusive (Engine.RunBefore, in parallel)
+//	deliver shard→shard messages (InjectAt)
+//	late-apply control messages due before B' (Engine.RunAsOf), deliver
+//	      those due exactly at B' (InjectAt)
+//	single-step every engine's events at exactly B' in global key order
+//
+// No event before B' can be affected by an undelivered message (every
+// message originates at or after M and arrives at or after M+Lookahead ≥
+// B'), and no control event fires inside a window (B' never exceeds the
+// next control event), so ticks and fault applications always observe
+// shard state at exactly their serial instant. The merged-instant step at
+// B' interleaves same-instant events of different LPs by their composite
+// seq keys — (schedule time, rank, counter) — the same order a serial run
+// derives from its single monotone counter.
+//
+// Control messages (e.g. response deliveries) may be due before B' was
+// even computed; they are provably unobservable to the shards and are
+// late-applied in key order under a rewound clock (Engine.RunAsOf), which
+// reproduces the serial timestamps and order keys in every artifact.
+package par
+
+import (
+	"fmt"
+	"sort"
+
+	"halsim/internal/sim"
+)
+
+// CtrlDst addresses the control engine as a message destination.
+const CtrlDst = -1
+
+// Msg is one cross-LP event in flight: the delivery instant, the sender-
+// drawn seq key, and the event payload as the destination will schedule it.
+type Msg struct {
+	At   sim.Time
+	Seq  uint64
+	Call sim.Call
+	Arg  any
+	N    int64
+}
+
+// shard is one worker LP: an engine, its per-destination outboxes, and the
+// command/result channel pair of its goroutine.
+type shard struct {
+	eng *sim.Engine
+	// out is indexed by destination shard; the last slot is the control
+	// engine. Only the shard's goroutine appends during a window; only the
+	// coordinator drains at barriers (channel handoff orders the two).
+	out  [][]Msg
+	cmd  chan sim.Time
+	res  chan any // recovered panic value, nil on success
+	busy bool     // a command is outstanding (coordinator-side bookkeeping)
+}
+
+// Exec coordinates the shards and the control engine.
+type Exec struct {
+	shards    []*shard
+	ctrl      *sim.Engine
+	lookahead sim.Time
+
+	b        sim.Time // current barrier time
+	ctrlPend []Msg    // undelivered control messages
+	scratch  []Msg    // due control messages, sorted per barrier
+	running  bool
+}
+
+// New builds an executor over the given worker engines and control engine.
+// lookahead must be a lower bound on every cross-shard link latency.
+func New(ctrl *sim.Engine, workers []*sim.Engine, lookahead sim.Time) *Exec {
+	if lookahead <= 0 {
+		panic(fmt.Sprintf("par: non-positive lookahead %d", lookahead))
+	}
+	x := &Exec{ctrl: ctrl, lookahead: lookahead}
+	for _, e := range workers {
+		x.shards = append(x.shards, &shard{
+			eng: e,
+			out: make([][]Msg, len(workers)+1),
+			cmd: make(chan sim.Time),
+			res: make(chan any),
+		})
+	}
+	return x
+}
+
+// Start launches the shard goroutines. Each loops executing RunBefore
+// commands until Shutdown closes its channel.
+func (x *Exec) Start() {
+	if x.running {
+		return
+	}
+	x.running = true
+	for _, sh := range x.shards {
+		go func(sh *shard) {
+			for deadline := range sh.cmd {
+				sh.res <- runGuarded(sh.eng, deadline)
+			}
+		}(sh)
+	}
+}
+
+// runGuarded advances e to deadline, converting a panic into a value so a
+// shard failure surfaces on the coordinator instead of killing the process.
+func runGuarded(e *sim.Engine, deadline sim.Time) (recovered any) {
+	defer func() { recovered = recover() }()
+	e.RunBefore(deadline)
+	return nil
+}
+
+// Shutdown stops the shard goroutines. The executor is not reusable after.
+func (x *Exec) Shutdown() {
+	if !x.running {
+		return
+	}
+	x.running = false
+	for _, sh := range x.shards {
+		close(sh.cmd)
+	}
+}
+
+// Send queues a message from shard src (or the control engine, src ==
+// CtrlDst) to shard dst (or the control engine, dst == CtrlDst). It must be
+// called from the goroutine currently owning src: the sending shard's
+// during a window, the coordinator's during a barrier.
+func (x *Exec) Send(src, dst int, at sim.Time, seq uint64, call sim.Call, arg any, n int64) {
+	if src == CtrlDst {
+		// Control work sends only at barriers, when the coordinator owns
+		// every structure; deliver or queue directly.
+		if dst == CtrlDst {
+			x.ctrlPend = append(x.ctrlPend, Msg{At: at, Seq: seq, Call: call, Arg: arg, N: n})
+		} else {
+			x.shards[dst].eng.InjectAt(at, seq, call, arg, n)
+		}
+		return
+	}
+	sh := x.shards[src]
+	slot := dst
+	if dst == CtrlDst {
+		slot = len(x.shards)
+	}
+	sh.out[slot] = append(sh.out[slot], Msg{At: at, Seq: seq, Call: call, Arg: arg, N: n})
+}
+
+// Now reports the current barrier time.
+func (x *Exec) Now() sim.Time { return x.b }
+
+// AdvanceTo runs the simulation through `until` inclusive: windows cover
+// [B, until) and the final merged-instant step executes events at exactly
+// `until`, matching the serial engine's inclusive RunUntil.
+func (x *Exec) AdvanceTo(until sim.Time) {
+	for x.b < until {
+		bp := x.boundary(until)
+		x.window(bp)
+	}
+}
+
+// DrainAll runs windows until every engine, outbox, and pending control
+// message is exhausted — the parallel form of Engine.Run after stop/cancel.
+func (x *Exec) DrainAll() {
+	for {
+		m, ok := x.minNext()
+		if !ok {
+			return
+		}
+		bp := m + x.lookahead
+		if ca, ok := x.ctrl.NextEventAt(); ok && ca < bp {
+			bp = ca
+		}
+		x.window(bp)
+	}
+}
+
+// boundary picks the next barrier time for a run bounded by `until`.
+func (x *Exec) boundary(until sim.Time) sim.Time {
+	bp := until
+	if m, ok := x.minNext(); ok && m+x.lookahead < bp {
+		bp = m + x.lookahead
+	}
+	if ca, ok := x.ctrl.NextEventAt(); ok && ca < bp {
+		bp = ca
+	}
+	return bp
+}
+
+// minNext reports the earliest pending event time across every engine and
+// undelivered control message.
+func (x *Exec) minNext() (sim.Time, bool) {
+	var m sim.Time
+	ok := false
+	consider := func(at sim.Time) {
+		if !ok || at < m {
+			m, ok = at, true
+		}
+	}
+	if at, o := x.ctrl.NextEventAt(); o {
+		consider(at)
+	}
+	for _, sh := range x.shards {
+		if at, o := sh.eng.NextEventAt(); o {
+			consider(at)
+		}
+	}
+	for i := range x.ctrlPend {
+		consider(x.ctrlPend[i].At)
+	}
+	return m, ok
+}
+
+// window advances the whole simulation to barrier time bp: the parallel
+// exclusive phase, message delivery, late control application, and the
+// merged-instant step at bp itself.
+func (x *Exec) window(bp sim.Time) {
+	// Parallel phase: shards with work before bp run on their goroutines;
+	// idle shards just park their clock (coordinator-side, no handoff).
+	for _, sh := range x.shards {
+		if at, ok := sh.eng.NextEventAt(); ok && at < bp {
+			sh.cmd <- bp
+			sh.busy = true
+		} else {
+			sh.eng.RunBefore(bp)
+		}
+	}
+	var panicked any
+	for _, sh := range x.shards {
+		if sh.busy {
+			if r := <-sh.res; r != nil && panicked == nil {
+				panicked = r
+			}
+			sh.busy = false
+		}
+	}
+	if panicked != nil {
+		panic(panicked)
+	}
+
+	x.deliver()
+	x.lateCtrl(bp)
+	x.ctrl.RunBefore(bp)
+	x.mergedInstant(bp)
+	x.deliver()
+	x.b = bp
+}
+
+// deliver drains every outbox: shard-destined messages splice into the
+// destination wheel, control-destined ones queue for lateCtrl.
+func (x *Exec) deliver() {
+	ctrlSlot := len(x.shards)
+	for _, sh := range x.shards {
+		for dst, msgs := range sh.out {
+			if len(msgs) == 0 {
+				continue
+			}
+			if dst == ctrlSlot {
+				x.ctrlPend = append(x.ctrlPend, msgs...)
+			} else {
+				de := x.shards[dst].eng
+				for i := range msgs {
+					m := &msgs[i]
+					de.InjectAt(m.At, m.Seq, m.Call, m.Arg, m.N)
+				}
+			}
+			sh.out[dst] = msgs[:0]
+		}
+	}
+}
+
+// lateCtrl applies pending control messages due before bp — in key order,
+// under a rewound clock, reproducing serial timestamps — and injects those
+// due exactly at bp so the merged-instant step interleaves them with other
+// control events by key.
+func (x *Exec) lateCtrl(bp sim.Time) {
+	if len(x.ctrlPend) == 0 {
+		return
+	}
+	due := x.scratch[:0]
+	keep := x.ctrlPend[:0]
+	for _, m := range x.ctrlPend {
+		if m.At <= bp {
+			due = append(due, m)
+		} else {
+			keep = append(keep, m)
+		}
+	}
+	x.ctrlPend = keep
+	x.scratch = due
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].At != due[j].At {
+			return due[i].At < due[j].At
+		}
+		return due[i].Seq < due[j].Seq
+	})
+	for i := range due {
+		m := &due[i]
+		if m.At == bp {
+			x.ctrl.InjectAt(m.At, m.Seq, m.Call, m.Arg, m.N)
+		} else {
+			x.ctrl.RunAsOf(m.At, m.Seq, m.Call, m.Arg, m.N)
+		}
+		m.Arg = nil
+	}
+}
+
+// mergedInstant single-steps engines while any head event sits at exactly
+// t, always picking the globally smallest seq key: the serial interleaving
+// of same-instant events across LPs.
+func (x *Exec) mergedInstant(t sim.Time) {
+	for {
+		var best *sim.Engine
+		var bestSeq uint64
+		if at, seq, ok := x.ctrl.HeadKey(); ok && at == t {
+			best, bestSeq = x.ctrl, seq
+		}
+		for _, sh := range x.shards {
+			if at, seq, ok := sh.eng.HeadKey(); ok && at == t && (best == nil || seq < bestSeq) {
+				best, bestSeq = sh.eng, seq
+			}
+		}
+		if best == nil {
+			return
+		}
+		best.PopRun()
+	}
+}

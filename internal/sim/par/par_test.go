@@ -1,0 +1,289 @@
+package par_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"halsim/internal/sim"
+	"halsim/internal/sim/par"
+)
+
+// The tests replay one scripted event tree through a serial single-engine
+// oracle and through the parallel executor, then compare per-node logs.
+// Nodes are residue-separated: node j's local events fire at instants ≡ j
+// (mod stride) and cross-node latencies preserve the destination residue,
+// so no two worker nodes ever share an instant and the comparison is exact
+// (cross-LP same-instant interleaving is covered by its own tests below).
+
+const (
+	stride    = 4
+	lookahead = sim.Time(40)
+)
+
+// action is one scripted consequence of an event firing: schedule a local
+// follow-up or send to another node.
+type action struct {
+	dst   int // node index; ctrl is the last node
+	delay sim.Time
+	child int64 // id of the spawned event's script entry
+}
+
+type script struct {
+	acts  map[int64][]action
+	roots []action
+}
+
+type entry struct {
+	At   sim.Time
+	Node int
+	ID   int64
+}
+
+// buildScript grows a deterministic random event tree over n worker nodes
+// plus a control node (index n). Latencies respect the residue scheme and
+// the lookahead for worker→worker edges; worker→ctrl edges get deliberately
+// sub-lookahead latencies to exercise late control application.
+func buildScript(rng *rand.Rand, workers, events int) *script {
+	s := &script{acts: map[int64][]action{}}
+	id := int64(0)
+	var grow func(node int, depth int) int64
+	grow = func(node int, depth int) int64 {
+		id++
+		me := id
+		if depth >= 4 || node == workers {
+			// Control-node events are leaves: the real control plane's
+			// late-applied handlers never schedule (RunAsOf contract).
+			return me
+		}
+		kids := rng.Intn(3)
+		for k := 0; k < kids && id < int64(events); k++ {
+			var a action
+			switch r := rng.Intn(4); {
+			case r < 2: // local follow-up, residue-preserving delay
+				a.dst = node
+				a.delay = sim.Time(rng.Intn(30)+1) * stride
+			case r == 2 && node < workers: // worker→worker hop
+				a.dst = rng.Intn(workers)
+				diff := (a.dst - node) % stride
+				if diff < 0 {
+					diff += stride
+				}
+				a.delay = lookahead + sim.Time(diff) + sim.Time(rng.Intn(8))*stride
+			default: // →ctrl, may undercut the lookahead
+				a.dst = workers
+				a.delay = sim.Time(rng.Intn(60) + 1)
+			}
+			a.child = grow(a.dst, depth+1)
+			s.acts[me] = append(s.acts[me], a)
+		}
+		return me
+	}
+	for n := 0; n < workers; n++ {
+		for i := 0; i < events/workers; i++ {
+			root := grow(n, 0)
+			// Root instants carry the node's residue, offset past zero:
+			// the seeding pass stamps every root with schedAt 0, so no
+			// event may FIRE at instant 0 or its sends would collide with
+			// the roots on (at, schedAt) and resolve by rank — the one
+			// residual ambiguity of composite keys, deliberately excluded
+			// from this exact-match oracle.
+			at := sim.Time(rng.Intn(200)+1)*stride + sim.Time(n)
+			s.roots = append(s.roots, action{dst: n, delay: at, child: root})
+		}
+	}
+	return s
+}
+
+// runner executes a script either serially (one engine, x == nil) or under
+// the parallel executor.
+type runner struct {
+	s       *script
+	engines []*sim.Engine // per node; all aliases of one engine when serial
+	x       *par.Exec
+	logs    [][]entry
+	calls   []sim.Call
+}
+
+func newRunner(s *script, workers int, parallel bool) *runner {
+	r := &runner{s: s, logs: make([][]entry, workers+1)}
+	if !parallel {
+		e := sim.NewEngine()
+		for n := 0; n <= workers; n++ {
+			r.engines = append(r.engines, e)
+		}
+	} else {
+		var w []*sim.Engine
+		for n := 0; n < workers; n++ {
+			e := sim.NewEngine()
+			e.SetRank(n)
+			w = append(w, e)
+		}
+		ctrl := sim.NewEngine()
+		ctrl.SetRank(3)
+		r.engines = append(w, ctrl)
+		r.x = par.New(ctrl, w, lookahead)
+	}
+	for n := 0; n <= workers; n++ {
+		node := n
+		r.calls = append(r.calls, func(_ any, id int64) { r.fire(node, id) })
+	}
+	// Seed the roots from a virtual scheduling pass at time zero, in the
+	// deterministic order the script recorded them.
+	for _, a := range s.roots {
+		r.dispatch(a.dst, a.dst, a.delay, a.child)
+	}
+	return r
+}
+
+func (r *runner) dispatch(src, dst int, delay sim.Time, child int64) {
+	se := r.engines[src]
+	at := se.Now() + delay
+	if r.x == nil || src == dst {
+		r.engines[dst].AtCall(at, r.calls[dst], nil, child)
+		return
+	}
+	workers := len(r.engines) - 1
+	psrc, pdst := src, dst
+	if psrc == workers {
+		psrc = par.CtrlDst
+	}
+	if pdst == workers {
+		pdst = par.CtrlDst
+	}
+	r.x.Send(psrc, pdst, at, se.AllocSeq(), r.calls[dst], nil, child)
+}
+
+func (r *runner) fire(node int, id int64) {
+	r.logs[node] = append(r.logs[node], entry{r.engines[node].Now(), node, id})
+	for _, a := range r.s.acts[id] {
+		r.dispatch(node, a.dst, a.delay, a.child)
+	}
+}
+
+func (r *runner) run(until sim.Time) {
+	if r.x == nil {
+		r.engines[0].RunUntil(until)
+		r.engines[0].Run()
+		return
+	}
+	r.x.Start()
+	defer r.x.Shutdown()
+	r.x.AdvanceTo(until)
+	r.x.DrainAll()
+}
+
+func TestParallelMatchesSerialOracle(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		s := buildScript(rand.New(rand.NewSource(seed)), 3, 240)
+		ser := newRunner(s, 3, false)
+		ser.run(400)
+		pp := newRunner(s, 3, true)
+		pp.run(400)
+		for n := range ser.logs {
+			if !reflect.DeepEqual(ser.logs[n], pp.logs[n]) {
+				t.Fatalf("seed %d node %d: serial %v != parallel %v",
+					seed, n, ser.logs[n], pp.logs[n])
+			}
+		}
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	s := buildScript(rand.New(rand.NewSource(42)), 3, 300)
+	a := newRunner(s, 3, true)
+	a.run(500)
+	b := newRunner(s, 3, true)
+	b.run(500)
+	if !reflect.DeepEqual(a.logs, b.logs) {
+		t.Fatal("two parallel runs diverged")
+	}
+}
+
+// Cross-LP same-instant events must fire in schedule-time order — the
+// composite seq key's dominant field — exactly as a serial run orders them.
+func TestMergedInstantSchedTimeOrder(t *testing.T) {
+	ea, eb, ctrl := sim.NewEngine(), sim.NewEngine(), sim.NewEngine()
+	ea.SetRank(0)
+	eb.SetRank(1)
+	ctrl.SetRank(3)
+	x := par.New(ctrl, []*sim.Engine{ea, eb}, lookahead)
+	var order []string
+	// A control event at t=100 forces a barrier exactly there, so every
+	// engine's t=100 events run in the coordinator's merged-instant step.
+	// B's event is scheduled at time 0 with rank 1, A's at time 50 with
+	// rank 0: schedule time must dominate rank in the key, so B fires
+	// first despite A's lower rank; the control event (rank 3, schedAt 0)
+	// slots between them.
+	eb.AtCall(100, func(any, int64) { order = append(order, "b") }, nil, 0)
+	ctrl.AtCall(100, func(any, int64) { order = append(order, "ctrl") }, nil, 0)
+	ea.AtCall(50, func(any, int64) {
+		ea.AtCall(100, func(any, int64) { order = append(order, "a") }, nil, 0)
+	}, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	x.AdvanceTo(200)
+	want := []string{"b", "ctrl", "a"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("merged instant order = %v, want %v", order, want)
+	}
+}
+
+// Control messages with sub-lookahead latency are late-applied with the
+// serial timestamp visible through Now, in (at, seq) order.
+func TestLateControlApplication(t *testing.T) {
+	ea, ctrl := sim.NewEngine(), sim.NewEngine()
+	ea.SetRank(0)
+	ctrl.SetRank(3)
+	x := par.New(ctrl, []*sim.Engine{ea}, 1000)
+	var got []sim.Time
+	deliver := func(any, int64) { got = append(got, ctrl.Now()) }
+	ea.AtCall(10, func(any, int64) {
+		x.Send(0, par.CtrlDst, ea.Now()+3, ea.AllocSeq(), deliver, nil, 0)
+		x.Send(0, par.CtrlDst, ea.Now()+1, ea.AllocSeq(), deliver, nil, 0)
+	}, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	x.AdvanceTo(5000)
+	want := []sim.Time{11, 13}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("late ctrl delivery times = %v, want %v", got, want)
+	}
+	if ctrl.Now() != 5000 {
+		t.Fatalf("ctrl clock = %v, want parked at 5000", ctrl.Now())
+	}
+}
+
+// DrainAll must jump idle gaps (a far-future sentinel would otherwise cost
+// billions of lookahead windows) and terminate when everything is empty.
+func TestDrainJumpsIdleGaps(t *testing.T) {
+	ea, ctrl := sim.NewEngine(), sim.NewEngine()
+	ea.SetRank(0)
+	ctrl.SetRank(3)
+	x := par.New(ctrl, []*sim.Engine{ea}, 10)
+	fired := sim.Time(0)
+	sentinel := sim.Time(3600) * sim.Second
+	ea.AtCall(sentinel, func(any, int64) { fired = ea.Now() }, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	x.AdvanceTo(100)
+	x.DrainAll()
+	if fired != sentinel {
+		t.Fatalf("sentinel fired at %v, want %v", fired, sentinel)
+	}
+}
+
+func TestShardPanicPropagates(t *testing.T) {
+	ea, ctrl := sim.NewEngine(), sim.NewEngine()
+	x := par.New(ctrl, []*sim.Engine{ea}, 10)
+	ea.AtCall(5, func(any, int64) { panic("boom") }, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	x.AdvanceTo(100)
+	t.Fatal("expected panic")
+}

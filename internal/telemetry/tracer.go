@@ -109,8 +109,23 @@ type Tracer struct {
 	every    uint64
 	capacity int
 	events   []Span
+	// order, when bound, supplies the engine's execution-order key of the
+	// event currently running; keys then grows in lockstep with events so
+	// MergeTracers can restore the global serial emission order across the
+	// per-LP tracers of a parallel run. Serial runs leave tracers unbound.
+	order func() (sim.Time, uint64)
+	keys  []orderKey
 	// Truncated counts events discarded after the cap was reached.
 	Truncated uint64
+}
+
+// orderKey is the (execution instant, engine seq key) pair identifying
+// where in the global event order a span was emitted. Engines execute
+// events in ascending (at, seq) order, so each tracer's key stream is
+// sorted and a k-way merge reproduces the serial interleaving.
+type orderKey struct {
+	at  sim.Time
+	seq uint64
 }
 
 // NewTracer returns a tracer sampling 1-in-every packets, retaining at most
@@ -125,6 +140,15 @@ func NewTracer(every, capacity int) *Tracer {
 // Every returns the sampling modulus.
 func (t *Tracer) Every() int { return int(t.every) }
 
+// Capacity returns the retained-event bound.
+func (t *Tracer) Capacity() int { return t.capacity }
+
+// BindOrder attaches the owning engine's execution-order key source
+// (sim.Engine.OrderKey). Every subsequent Emit records the key alongside
+// the span. Parallel runs bind each per-LP tracer to its LP's engine;
+// serial runs leave tracers unbound at zero cost.
+func (t *Tracer) BindOrder(fn func() (sim.Time, uint64)) { t.order = fn }
+
 // Sampled reports whether packet id is in the deterministic sample. Safe on
 // a nil tracer (hook sites combine the nil check and the sample check).
 func (t *Tracer) Sampled(id uint64) bool {
@@ -138,6 +162,51 @@ func (t *Tracer) Emit(s Span) {
 		return
 	}
 	t.events = append(t.events, s)
+	if t.order != nil {
+		at, seq := t.order()
+		t.keys = append(t.keys, orderKey{at: at, seq: seq})
+	}
+}
+
+// MergeTracers interleaves the spans of several order-bound tracers into a
+// fresh tracer in global (at, seq) execution order — the order a serial run
+// would have emitted them — retaining at most capacity spans. The sampling
+// modulus is inherited from the first part. Ties within one part keep
+// emission order (stable); keys never tie across parts because every
+// engine's seq keys carry distinct rank bits.
+func MergeTracers(capacity int, parts ...*Tracer) *Tracer {
+	merged := &Tracer{every: 1, capacity: capacity}
+	if len(parts) > 0 {
+		merged.every = parts[0].every
+	}
+	var attempted uint64
+	for _, p := range parts {
+		attempted += uint64(len(p.events)) + p.Truncated
+	}
+	idx := make([]int, len(parts))
+	for {
+		best := -1
+		var bk orderKey
+		for i, p := range parts {
+			j := idx[i]
+			if j >= len(p.keys) {
+				continue
+			}
+			k := p.keys[j]
+			if best < 0 || k.at < bk.at || (k.at == bk.at && k.seq < bk.seq) {
+				best, bk = i, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		if len(merged.events) < capacity {
+			merged.events = append(merged.events, parts[best].events[idx[best]])
+		}
+		idx[best]++
+	}
+	merged.Truncated = attempted - uint64(len(merged.events))
+	return merged
 }
 
 // Len returns the retained event count.
