@@ -31,6 +31,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"halsim/internal/cliutil"
 	"halsim/internal/experiments"
 	"halsim/internal/server"
 	"halsim/internal/sim"
@@ -256,7 +257,9 @@ func run(quick bool, seed int64, shards, benchN int, cpuprofile, memprofile, ben
 		start := time.Now()
 		if err := runner(opt); err != nil {
 			fmt.Fprintf(os.Stderr, "halbench: %s: %v\n", name, err)
-			return 1
+			// Validation errors (a fault plan that failed Validate) exit 2
+			// like every other usage mistake; runtime failures exit 1.
+			return cliutil.ExitCode(err)
 		}
 		fmt.Printf("[%s took %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}

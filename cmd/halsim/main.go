@@ -10,6 +10,8 @@
 //	halsim -mode hal -fn NAT -rate 60 -fault core-crash -fault-cores 4
 //	halsim -mode hal -fn NAT -rate 80 -timeline run.csv -trace-out run.trace.json
 //	halsim -mode hal -fn NAT -rate 80 -duration 1s -shards 4
+//	halsim run examples/scenarios/chaos-soak.yaml -report report.md
+//	halsim validate examples/scenarios/*.yaml
 package main
 
 import (
@@ -21,9 +23,11 @@ import (
 	"strings"
 	"time"
 
+	"halsim/internal/cliutil"
 	"halsim/internal/cxl"
 	"halsim/internal/fault"
 	"halsim/internal/nf"
+	"halsim/internal/scenario"
 	"halsim/internal/server"
 	"halsim/internal/sim"
 	"halsim/internal/telemetry"
@@ -32,6 +36,19 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch: `halsim run` and `halsim validate` take a
+	// scenario file; anything else is the classic flag interface.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			runCmd(os.Args[2:])
+			return
+		case "validate":
+			validateCmd(os.Args[2:])
+			return
+		}
+	}
+
 	var (
 		modeFlag = flag.String("mode", "hal", "host | snic | hal | slb")
 		fnFlag   = flag.String("fn", "NAT", "function: KVS Count EMA NAT BM25 KNN Bayes REM Crypto Comp")
@@ -60,12 +77,53 @@ func main() {
 		traceEvery   = flag.Int("trace-every", 64, "trace 1-in-N packets (with -trace-out)")
 		metricsOut   = flag.String("metrics-out", "", "write the final counter registry in Prometheus text format ('-' for stdout)")
 		telAddr      = flag.String("telemetry-addr", "", "serve live /metrics on this address while the run executes")
+		reportMD     = flag.String("report", "", "scenario runs: write the Markdown run report to this file ('-' for stdout)")
+		reportHTML   = flag.String("report-html", "", "scenario runs: write the HTML run report to this file")
 		showVersion  = flag.Bool("version", false, "print the build commit and exit")
 	)
 	flag.Parse()
 	if *showVersion {
 		fmt.Printf("halsim %s\n", version.String())
 		return
+	}
+
+	// A positional argument is a scenario file — `halsim scenario.yaml` is
+	// shorthand for `halsim run scenario.yaml`. The file owns the run
+	// configuration, so simulation and fault flags alongside it are a usage
+	// error, not a silent precedence rule; only -seed and -shards act as
+	// documented overrides, and telemetry/report export flags compose.
+	if flag.NArg() > 0 {
+		if flag.NArg() > 1 {
+			usageErr("want one scenario file, have %d arguments (%v)", flag.NArg(), flag.Args())
+		}
+		var conflicts []string
+		ov := scenario.Overrides{}
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "mode", "fn", "fn-config", "pipeline", "rate", "workload", "duration",
+				"cxl", "slb-cores", "slb-th", "functional",
+				"fault", "fault-at", "fault-for", "fault-cores", "fault-drop":
+				conflicts = append(conflicts, "-"+f.Name)
+			case "seed":
+				ov.Seed = *seed
+			case "shards":
+				ov.Shards = *shards
+			}
+		})
+		if len(conflicts) > 0 {
+			usageErr("%s already defines the run; drop %s (use -seed/-shards to override, or edit the scenario)",
+				flag.Arg(0), strings.Join(conflicts, ", "))
+		}
+		executeScenario(flag.Arg(0), ov, *reportMD, *reportHTML, artifactPaths{
+			timelineCSV:  *timelineCSV,
+			timelineJSON: *timelineJSON,
+			traceOut:     *traceOut,
+			metricsOut:   *metricsOut,
+		})
+		return
+	}
+	if *reportMD != "" || *reportHTML != "" {
+		usageErr("-report/-report-html need a scenario file (see `halsim run`)")
 	}
 
 	cfg := server.Config{FnConfig: *fnCfg, Seed: *seed, Functional: *function, Shards: *shards}
@@ -161,6 +219,9 @@ func main() {
 		default:
 			usageErr("unknown fault %q (want core-crash, rx-drop, telemetry, or accel-degrade)", *faultKind)
 		}
+		// Same validate-then-exit(2) chokepoint as halbench and the
+		// scenario path: a malformed plan is a usage error everywhere.
+		cliutil.CheckPlan("halsim", plan)
 		cfg.Faults = plan
 		// Mark the fault window so the report can show before/during/after,
 		// and drain so the packet-conservation audit closes exactly. A window

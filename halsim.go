@@ -25,6 +25,7 @@ import (
 	"halsim/internal/fault"
 	"halsim/internal/nf"
 	"halsim/internal/platform"
+	"halsim/internal/scenario"
 	"halsim/internal/server"
 	"halsim/internal/sim"
 	"halsim/internal/telemetry"
@@ -178,6 +179,27 @@ func NewFabric(kind FabricKind, nodes int) *cxl.Fabric { return cxl.NewFabric(ki
 func NewFabricCapped(kind FabricKind, nodes, linesPerNode int) *cxl.Fabric {
 	return cxl.NewFabricCapped(kind, nodes, linesPerNode)
 }
+
+// Scenario is a declarative run harness parsed from a YAML file: a run
+// template, timed fault events and/or a seeded chaos generator, and a
+// block of assertions checked against the run's results. Execute runs it;
+// the returned ScenarioOutcome renders Markdown/HTML reports. Same scenario
+// + same seed ⇒ byte-identical reports, at any shard count.
+type Scenario = scenario.Scenario
+
+// ScenarioOutcome is one executed scenario: compiled inputs, Result, and
+// every assertion's verdict (Passed is the overall verdict).
+type ScenarioOutcome = scenario.Outcome
+
+// ScenarioOverrides are the knobs a caller may vary without editing the
+// scenario file (seed, shard count).
+type ScenarioOverrides = scenario.Overrides
+
+// ParseScenario decodes and validates one scenario document.
+func ParseScenario(data []byte) (*Scenario, error) { return scenario.Parse(data) }
+
+// LoadScenario reads and parses a scenario file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
 
 // ExperimentOptions controls experiment fidelity (durations, seed).
 type ExperimentOptions = experiments.Options

@@ -1,0 +1,39 @@
+package cliutil
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"halsim/internal/fault"
+	"halsim/internal/scenario"
+	"halsim/internal/sim"
+)
+
+func TestExitCode(t *testing.T) {
+	badPlan := fault.NewPlan(1).DropSNICRx(0, sim.Millisecond, 1.5)
+	planErr := badPlan.Validate()
+	if planErr == nil {
+		t.Fatal("want a validation error from a 1.5 drop probability")
+	}
+	_, scenErr := scenario.Parse([]byte("run:\n  rate_gbps: 1\n  duration: 1ms\n"))
+	if scenErr == nil {
+		t.Fatal("want a validation error from a nameless scenario")
+	}
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, ExitOK},
+		{errors.New("boom"), ExitFailure},
+		{planErr, ExitUsage},
+		{fmt.Errorf("wrapped: %w", planErr), ExitUsage},
+		{scenErr, ExitUsage},
+		{fmt.Errorf("deep: %w", fmt.Errorf("wrap: %w", scenErr)), ExitUsage},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Errorf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}

@@ -188,21 +188,32 @@ func (p *Plan) CrashSNICCores(from, to sim.Time, n int) *Plan {
 	return p
 }
 
+// ValidationError marks a plan that failed Validate: a configuration
+// mistake rather than a runtime failure. The CLIs map it (via
+// cliutil.ExitCode) to the usage-error exit status 2.
+type ValidationError struct{ msg string }
+
+func (e *ValidationError) Error() string { return e.msg }
+
+func validationf(format string, args ...interface{}) error {
+	return &ValidationError{msg: fmt.Sprintf(format, args...)}
+}
+
 // Validate checks the plan is executable: non-negative times, known kinds,
-// sane cores and probabilities.
+// sane cores and probabilities. Failures are *ValidationError values.
 func (p *Plan) Validate() error {
 	for i, e := range p.Events {
 		if e.At < 0 {
-			return fmt.Errorf("fault: event %d (%v) at negative time", i, e.Kind)
+			return validationf("fault: event %d (%v) at negative time", i, e.Kind)
 		}
 		if e.Kind < 0 || e.Kind >= numKinds {
-			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(e.Kind))
+			return validationf("fault: event %d has unknown kind %d", i, int(e.Kind))
 		}
 		if e.Kind.coreKind() && e.Core < 0 {
-			return fmt.Errorf("fault: event %d (%v) has negative core %d", i, e.Kind, e.Core)
+			return validationf("fault: event %d (%v) has negative core %d", i, e.Kind, e.Core)
 		}
 		if e.Kind.rxKind() && (e.DropProb < 0 || e.DropProb > 1) {
-			return fmt.Errorf("fault: event %d (%v) has drop probability %g outside [0,1]",
+			return validationf("fault: event %d (%v) has drop probability %g outside [0,1]",
 				i, e.Kind, e.DropProb)
 		}
 	}

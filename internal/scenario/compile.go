@@ -1,0 +1,247 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"halsim/internal/cxl"
+	"halsim/internal/fault"
+	"halsim/internal/server"
+	"halsim/internal/sim"
+	"halsim/internal/trace"
+)
+
+// Overrides are the CLI-side knobs that may vary without editing the
+// scenario file. Zero values defer to the scenario.
+type Overrides struct {
+	Seed   int64 // non-zero replaces run.seed (and a chaos seed inheriting it)
+	Shards int   // non-zero replaces run.shards
+}
+
+// Compiled is a scenario lowered onto the simulator's native inputs.
+type Compiled struct {
+	Cfg server.Config
+	RC  server.RunConfig
+	// Plan is the fault schedule (nil when the scenario has neither
+	// events nor chaos); Cfg.Faults aliases it.
+	Plan *fault.Plan
+	// FaultWindows are the scenario's fault windows — explicit events
+	// followed by generated chaos draws — sorted by start time. The
+	// report renders these; assertions derive the fault span from them.
+	FaultWindows []EventSpec
+	// Seed and Shards are the effective values after overrides.
+	Seed   int64
+	Shards int
+}
+
+// faultSpan returns the [earliest start, latest end] of the fault windows,
+// clamped to the run duration; ok is false without faults.
+func (c *Compiled) faultSpan() (from, to sim.Time, ok bool) {
+	if len(c.FaultWindows) == 0 {
+		return 0, 0, false
+	}
+	from, to = c.FaultWindows[0].At, 0
+	for _, w := range c.FaultWindows {
+		if w.At < from {
+			from = w.At
+		}
+		if end := w.At + w.For; end > to {
+			to = end
+		}
+	}
+	if to > c.RC.Duration {
+		to = c.RC.Duration
+	}
+	return from, to, true
+}
+
+// Compile lowers the scenario onto a server.Config/RunConfig pair and a
+// validated fault.Plan, applying overrides. It is pure: no simulation runs,
+// so `halsim validate` uses it too.
+func (s *Scenario) Compile(ov Overrides) (*Compiled, error) {
+	r := s.Run
+	c := &Compiled{Seed: r.Seed, Shards: r.Shards}
+	if ov.Seed != 0 {
+		c.Seed = ov.Seed
+	}
+	if ov.Shards != 0 {
+		c.Shards = ov.Shards
+	}
+
+	c.Cfg = server.Config{
+		Mode:       r.Mode,
+		Fn:         r.Fn,
+		FnConfig:   r.FnConfig,
+		PipelineOn: r.PipelineOn,
+		Pipeline:   r.Pipeline,
+		Functional: r.Functional,
+		Seed:       c.Seed,
+		Shards:     c.Shards,
+	}
+	if r.Mode == server.SLB || r.Mode == server.SLBHost {
+		c.Cfg.SLBCores = r.SLBCores
+		c.Cfg.SLBFwdThGbps = r.SLBFwdThGbps
+	}
+	if r.CXL {
+		c.Cfg.Fabric = cxl.NewFabric(cxl.CXL, 2)
+	}
+
+	c.RC = server.RunConfig{
+		Duration: r.Duration,
+		RateGbps: r.RateGbps,
+		Warmup:   r.Warmup,
+	}
+	if r.Workload != "" {
+		w, err := trace.ParseWorkload(r.Workload)
+		if err != nil {
+			return nil, errf("run.workload: %v", err)
+		}
+		c.RC.Workload = &w
+	}
+
+	// Fault windows: explicit events first, then the chaos draws.
+	c.FaultWindows = append(c.FaultWindows, s.Events...)
+	if s.Chaos != nil {
+		chaotic, err := s.Chaos.generate(c.Seed, r.Duration)
+		if err != nil {
+			return nil, err
+		}
+		c.FaultWindows = append(c.FaultWindows, chaotic...)
+	}
+	sort.SliceStable(c.FaultWindows, func(i, j int) bool {
+		return c.FaultWindows[i].At < c.FaultWindows[j].At
+	})
+
+	if len(c.FaultWindows) > 0 {
+		plan := fault.NewPlan(c.Seed)
+		for i, w := range c.FaultWindows {
+			if err := compileWindow(plan, w, r.Duration); err != nil {
+				return nil, fmt.Errorf("fault window %d: %w", i, err)
+			}
+		}
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+		c.Plan = plan
+		c.Cfg.Faults = plan
+
+		// Phase marks bracket the overall fault span (before | during |
+		// after); a span reaching the end of the run has no after phase.
+		from, to, _ := c.faultSpan()
+		if to >= r.Duration {
+			c.RC.PhaseMarks = []sim.Time{from}
+		} else {
+			c.RC.PhaseMarks = []sim.Time{from, to}
+		}
+		// Fault runs drain by default so the conservation ledger closes.
+		c.RC.Drain = true
+	}
+	if r.drainSet {
+		c.RC.Drain = r.Drain
+	}
+
+	// Delivered-rate series: on for every fault run (the recovery signal
+	// and the report's rate table) at duration/60, floored at 100 µs.
+	c.RC.RateWindow = r.RateWindow
+	if c.RC.RateWindow == 0 && c.Plan != nil {
+		c.RC.RateWindow = r.Duration / 60
+		if c.RC.RateWindow < 100*sim.Microsecond {
+			c.RC.RateWindow = 100 * sim.Microsecond
+		}
+	}
+
+	// Telemetry: the scenario's own section, plus an automatic timeline
+	// whenever a windowed assertion needs per-tick samples.
+	c.Cfg.Telemetry.Timeline = r.Telemetry.Timeline
+	c.Cfg.Telemetry.TimelinePeriod = r.Telemetry.TimelinePeriod
+	c.Cfg.Telemetry.TraceEvery = r.Telemetry.TraceEvery
+	for _, a := range s.Assertions {
+		if a.WindowTo > 0 {
+			c.Cfg.Telemetry.Timeline = true
+		}
+	}
+	return c, nil
+}
+
+// compileWindow lowers one fault window onto the plan's chainable API.
+func compileWindow(p *fault.Plan, w EventSpec, duration sim.Time) error {
+	from, to := w.At, w.At+w.For
+	if to > duration {
+		// A window reaching past the end never clears: recovery events
+		// land at the finish line (the server rejects events beyond it).
+		to = duration
+	}
+	switch w.Kind {
+	case "core-crash":
+		if w.Side == "host" {
+			for c := 0; c < w.Cores; c++ {
+				p.CrashHostCore(from, c)
+				p.RecoverHostCore(to, c)
+			}
+		} else {
+			p.CrashSNICCores(from, to, w.Cores)
+		}
+	case "rx-drop":
+		if w.Side == "host" {
+			p.DropHostRx(from, to, w.DropProb)
+		} else {
+			p.DropSNICRx(from, to, w.DropProb)
+		}
+	case "accel-degrade":
+		p.DegradeSNICAccel(from, to)
+	case "telemetry-blackout":
+		p.BlackoutTelemetry(from, to)
+	default:
+		return errf("unknown fault kind %q", w.Kind)
+	}
+	return nil
+}
+
+// describe renders one fault window for reports and summaries.
+func (w EventSpec) describe() string {
+	switch w.Kind {
+	case "core-crash":
+		return fmt.Sprintf("crash %d %s core(s)", w.Cores, w.Side)
+	case "rx-drop":
+		return fmt.Sprintf("%s rx-drop p=%.3f", w.Side, w.DropProb)
+	case "accel-degrade":
+		return "snic accel degrade to software path"
+	case "telemetry-blackout":
+		return "lbp telemetry blackout"
+	default:
+		return w.Kind
+	}
+}
+
+// Outcome is one executed scenario: the compiled inputs, the run's Result,
+// and every assertion's verdict.
+type Outcome struct {
+	Scenario *Scenario
+	Compiled *Compiled
+	Result   server.Result
+	Checks   []Check
+	// Passed is true when every assertion held.
+	Passed bool
+}
+
+// Execute compiles and runs the scenario, then evaluates its assertions.
+// Run errors (as opposed to assertion failures) come back as the error.
+func (s *Scenario) Execute(ov Overrides) (*Outcome, error) {
+	comp, err := s.Compile(ov)
+	if err != nil {
+		return nil, err
+	}
+	res, err := server.Run(comp.Cfg, comp.RC)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	o := &Outcome{Scenario: s, Compiled: comp, Result: res}
+	o.Checks = evaluate(s.Assertions, comp, res)
+	o.Passed = true
+	for _, c := range o.Checks {
+		if !c.Pass {
+			o.Passed = false
+		}
+	}
+	return o, nil
+}

@@ -1,0 +1,428 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"halsim/internal/nf"
+	"halsim/internal/server"
+	"halsim/internal/sim"
+)
+
+const fullDoc = `
+name: full
+description: every section at once
+run:
+  mode: hal
+  fn: nat          # case-insensitive
+  rate_gbps: 60
+  duration: 4ms
+  warmup: 200us
+  seed: 7
+  shards: 2
+  telemetry:
+    timeline: true
+events:
+  - at: 1500us
+    for: 600us
+    kind: core-crash
+    side: snic
+    cores: 2
+  - at: 2500us
+    for: 300us
+    kind: rx-drop
+    drop_prob: 0.1
+chaos:
+  seed: 11
+  events: 3
+  window: 1ms..3ms
+  kinds:
+    accel-degrade: 1
+    telemetry-blackout: 1
+assertions:
+  - metric: conservation
+    op: ==
+    value: closed
+  - metric: p99_latency_us
+    op: <=
+    value: 500
+  - metric: recovery_time
+    op: <=
+    value: 2ms
+  - metric: fwd_th_gbps
+    op: ">="
+    value: 1
+    during: 200us..1200us
+    agg: min
+  - metric: avg_gbps
+    op: ">="
+    value: 40
+    phase: before
+`
+
+func TestParseFull(t *testing.T) {
+	s, err := Parse([]byte(fullDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "full" || s.Run.Mode != server.HAL || s.Run.Fn != nf.NAT {
+		t.Fatalf("run spec mismatch: %+v", s.Run)
+	}
+	if s.Run.Seed != 7 || s.Run.Shards != 2 || s.Run.Warmup != 200*sim.Microsecond {
+		t.Fatalf("run knobs mismatch: %+v", s.Run)
+	}
+	if len(s.Events) != 2 || s.Events[0].Kind != "core-crash" || s.Events[1].DropProb != 0.1 {
+		t.Fatalf("events mismatch: %+v", s.Events)
+	}
+	if s.Chaos == nil || s.Chaos.Seed != 11 || len(s.Chaos.Kinds) != 2 {
+		t.Fatalf("chaos mismatch: %+v", s.Chaos)
+	}
+	if len(s.Assertions) != 5 {
+		t.Fatalf("want 5 assertions, have %d", len(s.Assertions))
+	}
+	if a := s.Assertions[2]; a.Value != 2e6 { // 2ms in ns
+		t.Fatalf("duration assertion value: %g", a.Value)
+	}
+	if a := s.Assertions[3]; a.WindowFrom != 200*sim.Microsecond || a.Agg != "min" {
+		t.Fatalf("window assertion: %+v", a)
+	}
+
+	comp, err := s.Compile(Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Plan == nil || len(comp.FaultWindows) < 3 {
+		t.Fatalf("want explicit + chaos windows, have %d", len(comp.FaultWindows))
+	}
+	if !comp.Cfg.Telemetry.Timeline {
+		t.Fatal("windowed assertion should force the timeline on")
+	}
+	if len(comp.RC.PhaseMarks) != 2 {
+		t.Fatalf("phase marks: %v", comp.RC.PhaseMarks)
+	}
+	if !comp.RC.Drain {
+		t.Fatal("fault runs should drain by default")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"missing name", "run:\n  rate_gbps: 10\n  duration: 1ms\n", "name"},
+		{"missing run", "name: x\n", "missing required `run`"},
+		{"unknown top key", "name: x\nbogus: 1\nrun:\n  rate_gbps: 10\n  duration: 1ms\n", "unknown key"},
+		{"unknown run key", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\n  typo: 1\n", "unknown key"},
+		{"bad mode", "name: x\nrun:\n  mode: quantum\n  rate_gbps: 10\n  duration: 1ms\n", "unknown mode"},
+		{"bad fn", "name: x\nrun:\n  fn: frobnicate\n  rate_gbps: 10\n  duration: 1ms\n", "unknown function"},
+		{"no load", "name: x\nrun:\n  duration: 1ms\n", "rate_gbps"},
+		{"bad duration", "name: x\nrun:\n  rate_gbps: 10\n  duration: fast\n", "not a duration"},
+		{"event past end", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nevents:\n  - at: 2ms\n    for: 1ms\n    kind: core-crash\n", "past the run"},
+		{"event bad kind", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nevents:\n  - at: 500us\n    for: 100us\n    kind: gremlins\n", "unknown kind"},
+		{"side on degrade", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nevents:\n  - at: 500us\n    for: 100us\n    kind: accel-degrade\n    side: host\n", "side"},
+		{"bad drop prob", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nevents:\n  - at: 500us\n    for: 100us\n    kind: rx-drop\n    drop_prob: 1.5\n", "drop_prob"},
+		{"chaos bad kind", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nchaos:\n  kinds:\n    gremlins: 1\n", "unknown kind"},
+		{"chaos window past end", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nchaos:\n  window: 500us..2ms\n", "past the run"},
+		{"assert bad metric", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nassertions:\n  - metric: vibes\n    op: \">=\"\n    value: 1\n", "unknown metric"},
+		{"assert bad op", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nassertions:\n  - metric: avg_gbps\n    op: \"~=\"\n    value: 1\n", "unknown op"},
+		{"assert bad value", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nassertions:\n  - metric: avg_gbps\n    op: \">=\"\n    value: lots\n", "not a number"},
+		{"assert window not window metric", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nassertions:\n  - metric: avg_gbps\n    op: \">=\"\n    value: 1\n    during: 100us..500us\n", "not a timeline-window metric"},
+		{"assert window past end", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nassertions:\n  - metric: power_w\n    op: \"<=\"\n    value: 400\n    during: 100us..5ms\n", "past the run"},
+		{"assert phase and window", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nassertions:\n  - metric: power_w\n    op: \"<=\"\n    value: 400\n    during: 100us..500us\n    phase: before\n", "mutually exclusive"},
+		{"assert conservation op", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nassertions:\n  - metric: conservation\n    op: \">=\"\n    value: closed\n", "== and != only"},
+		{"assert bad recovery value", "name: x\nrun:\n  rate_gbps: 10\n  duration: 1ms\nassertions:\n  - metric: recovery_time\n    op: \"<=\"\n    value: 5\n", "not a duration"},
+		{"tab indent", "name: x\nrun:\n\trate_gbps: 10\n", "tab"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("want error containing %q, have nil", tc.want)
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("want *ValidationError, have %T: %v", err, err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, have %q", tc.want, err)
+			}
+		})
+	}
+}
+
+const chaosDoc = `
+name: chaos-determinism
+run:
+  mode: hal
+  fn: NAT
+  rate_gbps: 60
+  duration: 4ms
+  seed: 42
+chaos:
+  events: 6
+  window: 1ms..3ms
+assertions:
+  - metric: conservation
+    op: ==
+    value: closed
+  - metric: fault_events
+    op: ">"
+    value: 0
+`
+
+// TestChaosGeneration checks the generator's contract: deterministic for a
+// seed, same-kind windows never overlapping, overlap bounded.
+func TestChaosGeneration(t *testing.T) {
+	s, err := Parse([]byte(chaosDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Chaos.generate(42, s.Run.Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Chaos.generate(42, s.Run.Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first) == 0 {
+		t.Fatal("no chaos windows generated")
+	}
+	if len(first) != len(again) {
+		t.Fatalf("nondeterministic count: %d vs %d", len(first), len(again))
+	}
+	for i := range first {
+		if first[i] != again[i] {
+			t.Fatalf("window %d differs: %+v vs %+v", i, first[i], again[i])
+		}
+	}
+	other, err := s.Chaos.generate(43, s.Run.Duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(other) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != other[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seed produced the identical schedule")
+	}
+	// Same-kind windows must not overlap; overall overlap <= max_overlap (2).
+	spec := s.Chaos.withDefaults(42, s.Run.Duration)
+	for i, a := range first {
+		active := 1
+		for j, b := range first {
+			if i == j {
+				continue
+			}
+			if a.At < b.At+b.For && b.At < a.At+a.For {
+				if a.Kind == b.Kind {
+					t.Fatalf("same-kind overlap: %+v and %+v", a, b)
+				}
+				if j > i {
+					active++
+				}
+			}
+		}
+		if active > spec.MaxOverlap {
+			t.Fatalf("window %d has %d concurrent faults (max %d)", i, active, spec.MaxOverlap)
+		}
+	}
+}
+
+// TestReportByteIdenticalAcrossShards is the determinism pledge: the same
+// scenario and seed produce byte-identical Markdown and HTML reports whether
+// the run used the serial engine or the conservative-parallel one.
+func TestReportByteIdenticalAcrossShards(t *testing.T) {
+	render := func(shards int) (string, string) {
+		s, err := Parse([]byte(chaosDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := s.Execute(Overrides{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Passed {
+			for _, c := range o.Checks {
+				t.Logf("check: %s observed %s pass=%v %s", c.Assertion.String(), c.ObservedText, c.Pass, c.Detail)
+			}
+			t.Fatal("chaos scenario failed its assertions")
+		}
+		var md, html bytes.Buffer
+		if err := o.WriteMarkdown(&md); err != nil {
+			t.Fatal(err)
+		}
+		if err := o.WriteHTML(&html); err != nil {
+			t.Fatal(err)
+		}
+		return md.String(), html.String()
+	}
+	md1, html1 := render(1)
+	md4, html4 := render(4)
+	if md1 != md4 {
+		t.Errorf("markdown reports differ between shards=1 and shards=4:\n--- shards=1\n%s\n--- shards=4\n%s", md1, md4)
+	}
+	if html1 != html4 {
+		t.Error("HTML reports differ between shards=1 and shards=4")
+	}
+	if strings.Contains(md1, "serial") || strings.Contains(md1, "parallel") {
+		t.Error("report leaks the engine label, breaking cross-engine byte-identity")
+	}
+}
+
+// TestAssertionFailure checks a violated assertion fails the outcome and the
+// report names the observed value.
+func TestAssertionFailure(t *testing.T) {
+	doc := `
+name: doomed
+run:
+  rate_gbps: 60
+  duration: 4ms
+events:
+  - at: 1500us
+    for: 600us
+    kind: core-crash
+    cores: 2
+assertions:
+  - metric: recovery_time
+    op: <=
+    value: 1ns
+`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := s.Execute(Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Passed {
+		t.Fatal("recovery_time <= 1ns should be violated")
+	}
+	if len(o.Checks) != 1 || o.Checks[0].Pass {
+		t.Fatalf("checks: %+v", o.Checks)
+	}
+	if o.Checks[0].ObservedText == "" {
+		t.Fatal("failed check has no observed value")
+	}
+	var md bytes.Buffer
+	if err := o.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), o.Checks[0].ObservedText) {
+		t.Fatalf("report does not name the observed value %q", o.Checks[0].ObservedText)
+	}
+	if !strings.Contains(md.String(), "FAIL") {
+		t.Fatal("report does not say FAIL")
+	}
+}
+
+// TestAssertionEvaluationEdgeCases covers the bespoke metrics.
+func TestAssertionEvaluationEdgeCases(t *testing.T) {
+	comp := &Compiled{RC: server.RunConfig{Duration: 4 * sim.Millisecond}}
+	res := server.Result{SentAll: 10, CompletedAll: 8, DroppedAll: 1, InFlightEnd: 1, FailoverTicks: -1}
+
+	open := evalOne(Assertion{Metric: "conservation", Op: "==", RawValue: "closed"}, comp, res)
+	if open.Pass {
+		t.Fatal("open ledger passed a == closed assertion")
+	}
+	if !strings.Contains(open.Detail, "in flight") {
+		t.Fatalf("detail: %q", open.Detail)
+	}
+
+	// failover_ticks == -1 (none) must fail even a <= comparison.
+	fo := evalOne(Assertion{Metric: "failover_ticks", Op: "<=", Value: 100, RawValue: "100"}, comp, res)
+	if fo.Pass {
+		t.Fatal("failover_ticks with no failover passed")
+	}
+	if fo.ObservedText != "none" {
+		t.Fatalf("observed: %q", fo.ObservedText)
+	}
+
+	// recovery_time without fault windows must fail with a reason.
+	rt := evalOne(Assertion{Metric: "recovery_time", Op: "<=", Value: 1e6, RawValue: "1ms"}, comp, res)
+	if rt.Pass || rt.Detail == "" {
+		t.Fatalf("recovery with no faults: %+v", rt)
+	}
+
+	// Window assertion without a timeline must fail with a reason.
+	w := evalOne(Assertion{Metric: "power_w", Op: "<=", Value: 400, RawValue: "400",
+		WindowFrom: 0, WindowTo: sim.Millisecond}, comp, res)
+	if w.Pass || w.Detail != "timeline not collected" {
+		t.Fatalf("window without timeline: %+v", w)
+	}
+}
+
+// TestExampleScenarios keeps the shipped starter set loadable: every file
+// under examples/scenarios must parse, validate, and carry assertions.
+func TestExampleScenarios(t *testing.T) {
+	files, err := filepath.Glob("../../examples/scenarios/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("want the starter set of >=4 example scenarios, have %d", len(files))
+	}
+	for _, f := range files {
+		s, err := Load(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		if len(s.Assertions) == 0 {
+			t.Errorf("%s: example scenario has no assertions", f)
+		}
+		if s.Description == "" {
+			t.Errorf("%s: example scenario has no description", f)
+		}
+	}
+}
+
+// TestSeedOverride checks the CLI seed override reshapes the chaos schedule.
+func TestSeedOverride(t *testing.T) {
+	s, err := Parse([]byte(`
+name: reseed
+run:
+  rate_gbps: 40
+  duration: 2ms
+chaos:
+  events: 4
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Compile(Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Compile(Overrides{Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seed != 99 || b.Cfg.Seed != 99 {
+		t.Fatalf("override not applied: %+v", b)
+	}
+	same := len(a.FaultWindows) == len(b.FaultWindows)
+	if same {
+		for i := range a.FaultWindows {
+			if a.FaultWindows[i] != b.FaultWindows[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seed override left the chaos schedule unchanged")
+	}
+}

@@ -1,0 +1,22 @@
+package yaml
+
+import "testing"
+
+// FuzzParse holds the decoder to its contract: any input either parses or
+// returns an error — it never panics. (The scenario-level wrapper
+// FuzzScenarioParse extends the same property through schema decoding.)
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(sample))
+	f.Add([]byte(""))
+	f.Add([]byte("a: 1\nb:\n  - c: 2\n    d: 3\n  - e"))
+	f.Add([]byte("a:\n\tb"))
+	f.Add([]byte("-"))
+	f.Add([]byte("a: 'unterminated"))
+	f.Add([]byte("k:\n  - \n  - x: 1"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		node, err := Parse(data)
+		if err == nil && node == nil {
+			t.Fatalf("Parse returned nil node and nil error")
+		}
+	})
+}

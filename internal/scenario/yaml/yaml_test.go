@@ -1,0 +1,152 @@
+package yaml
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `# scenario
+name: chaos-soak
+description: "soak: with a colon"
+
+run:
+  mode: hal
+  rate_gbps: 80
+  duration: 30ms
+  cxl: false
+
+events:
+  - at: 10ms
+    kind: core-crash
+    cores: 4
+  - at: 12ms   # trailing comment
+    kind: rx-drop
+    drop_prob: 0.3
+    params:
+      side: snic
+
+kinds:
+  - core-crash
+  - 'rx-drop'
+`
+
+func TestParseSample(t *testing.T) {
+	doc, err := Parse([]byte(sample))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if doc.Kind != MapNode {
+		t.Fatalf("top level is %v, want mapping", doc.Kind)
+	}
+	if got, _ := doc.Get("name").Scalar(); got != "chaos-soak" {
+		t.Errorf("name = %q", got)
+	}
+	if got, _ := doc.Get("description").Scalar(); got != "soak: with a colon" {
+		t.Errorf("description = %q", got)
+	}
+	run := doc.Get("run")
+	if run == nil || run.Kind != MapNode {
+		t.Fatalf("run section missing or not a mapping: %v", run)
+	}
+	if want := []string{"mode", "rate_gbps", "duration", "cxl"}; strings.Join(run.Keys, ",") != strings.Join(want, ",") {
+		t.Errorf("run keys = %v, want %v (order preserved)", run.Keys, want)
+	}
+	if v, err := run.Get("rate_gbps").Float(); err != nil || v != 80 {
+		t.Errorf("rate_gbps = %v, %v", v, err)
+	}
+	if v, err := run.Get("cxl").Bool(); err != nil || v {
+		t.Errorf("cxl = %v, %v", v, err)
+	}
+	evs := doc.Get("events")
+	if evs == nil || evs.Kind != SeqNode || len(evs.Items) != 2 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if got, _ := evs.Items[0].Get("kind").Scalar(); got != "core-crash" {
+		t.Errorf("events[0].kind = %q", got)
+	}
+	if n, err := evs.Items[0].Get("cores").Int64(); err != nil || n != 4 {
+		t.Errorf("cores = %d, %v", n, err)
+	}
+	if got, _ := evs.Items[1].Get("at").Scalar(); got != "12ms" {
+		t.Errorf("events[1].at = %q (trailing comment not stripped?)", got)
+	}
+	if got, _ := evs.Items[1].Get("params").Get("side").Scalar(); got != "snic" {
+		t.Errorf("nested params.side = %q", got)
+	}
+	kinds := doc.Get("kinds")
+	if kinds == nil || len(kinds.Items) != 2 {
+		t.Fatalf("kinds = %+v", kinds)
+	}
+	if got, _ := kinds.Items[1].Scalar(); got != "rx-drop" {
+		t.Errorf("kinds[1] = %q (quotes not stripped?)", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"tab-indent", "a: 1\n\tb: 2", "tab in indentation"},
+		{"dup-key", "a: 1\na: 2", "duplicate key"},
+		{"top-seq", "- a\n- b", "top level must be a mapping"},
+		{"top-indent", "  a: 1", "top level must not be indented"},
+		{"bare-text", "a: 1\nnot a key", "expected `key: value`"},
+		{"dash-in-map", "a:\n  b: 1\n  - c", "sequence entry inside a mapping"},
+		{"bad-indent", "a:\n  b: 1\n    c: 2", "unexpected indent"},
+		{"scalar-in-seq", "a:\n  - b\n  c: 1", "expected a `- ` sequence entry"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.src))
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.src, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEmptyAndValueAccessors(t *testing.T) {
+	doc, err := Parse(nil)
+	if err != nil || doc.Kind != MapNode || len(doc.Keys) != 0 {
+		t.Fatalf("empty doc: %+v, %v", doc, err)
+	}
+	doc, err = Parse([]byte("a:\nb: 1"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	// `a:` with nothing nested is an empty scalar.
+	if v, err := doc.Get("a").Scalar(); err != nil || v != "" {
+		t.Errorf("empty value = %q, %v", v, err)
+	}
+	if doc.Get("missing") != nil {
+		t.Errorf("Get(missing) should be nil")
+	}
+	if _, err := doc.Get("missing").Scalar(); err == nil {
+		t.Errorf("Scalar on nil node should error, not panic")
+	}
+	if _, err := doc.Get("a").Int64(); err == nil {
+		t.Errorf("Int64 on empty scalar should error")
+	}
+	if _, err := Parse([]byte("a: x")); err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	doc, err := Parse([]byte("a: 'it''s'\nb: \"x # not a comment\"\nc: plain # comment"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v, _ := doc.Get("a").Scalar(); v != "it's" {
+		t.Errorf("a = %q", v)
+	}
+	if v, _ := doc.Get("b").Scalar(); v != "x # not a comment" {
+		t.Errorf("b = %q", v)
+	}
+	if v, _ := doc.Get("c").Scalar(); v != "plain" {
+		t.Errorf("c = %q", v)
+	}
+}
