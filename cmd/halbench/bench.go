@@ -39,10 +39,14 @@ type benchSnapshot struct {
 	// refuses to compare them silently. GoMaxProcs is the effective
 	// parallelism (container quotas included); Shards and Engine say which
 	// simulation engine ran ("serial" for 0/1 shards, "parallel" above).
-	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
-	Shards     int           `json:"shards,omitempty"`
-	Engine     string        `json:"engine,omitempty"`
-	Results    []benchResult `json:"results"`
+	GoMaxProcs int `json:"gomaxprocs,omitempty"`
+	// NumCPU is the machine's logical CPU count, recorded so a snapshot
+	// taken with an inflated GOMAXPROCS on a starved quota (say 4 on a
+	// 1-CPU container) is honest about what actually ran concurrently.
+	NumCPU  int           `json:"numcpu,omitempty"`
+	Shards  int           `json:"shards,omitempty"`
+	Engine  string        `json:"engine,omitempty"`
+	Results []benchResult `json:"results"`
 }
 
 // engineLabel names the engine a shard count selects.
@@ -142,6 +146,7 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, outPath, bas
 		Repeat:     repeat,
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Shards:     opt.Shards,
 		Engine:     engineLabel(opt.Shards),
 	}
@@ -206,9 +211,14 @@ func compareBaseline(cur benchSnapshot, baselinePath string) error {
 			base.Quick, cur.Quick)
 	}
 	// Engine-mode mismatch: a serial baseline against a parallel run (or
-	// different shard counts) compares two different execution strategies.
-	// Warn loudly but still diff — cross-mode comparison is exactly how the
-	// parallel engine's speedup is measured, it just must never be silent.
+	// different shard counts) compares two different execution strategies,
+	// so the regression thresholds are meaningless — a /shardsN row diffed
+	// against a serial measurement of the same sentinel "regresses" by the
+	// coordination overhead, and a serial row vanishing behind a parallel
+	// baseline hides real regressions. That used to be a warning; it is now
+	// a hard failure, because a warning scrolled past in CI output is a
+	// silent comparison. Cross-engine speedup lives inside ONE snapshot
+	// (the serial sentinels next to the /shardsN rows), never across two.
 	// Old snapshots predate the engine field; treat absence as serial.
 	baseEngine, curEngine := base.Engine, cur.Engine
 	if baseEngine == "" {
@@ -218,10 +228,18 @@ func compareBaseline(cur benchSnapshot, baselinePath string) error {
 		curEngine = engineLabel(cur.Shards)
 	}
 	if baseEngine != curEngine || base.Shards != cur.Shards {
-		fmt.Printf("WARNING: engine mode mismatch — baseline %s (shards=%d), this run %s (shards=%d); deltas measure the engines, not a regression\n",
-			baseEngine, base.Shards, curEngine, cur.Shards)
+		return fmt.Errorf("-baseline %s: engine mode mismatch — baseline %s (shards=%d), this run %s (shards=%d); rerun with matching -shards (cross-engine speedup is read off the /shardsN rows inside one snapshot, not by diffing snapshots)",
+			baselinePath, baseEngine, base.Shards, curEngine, cur.Shards)
 	}
+	// GOMAXPROCS is part of what a parallel measurement measures: the same
+	// binary on the same machine is a different experiment at 1 proc than
+	// at 4. For parallel snapshots a mismatch fails; serial rows are
+	// single-threaded, so there it stays an advisory note.
 	if base.GoMaxProcs != 0 && base.GoMaxProcs != cur.GoMaxProcs {
+		if curEngine == "parallel" {
+			return fmt.Errorf("-baseline %s: GOMAXPROCS mismatch — baseline %d, this run %d; parallel rows measure scheduling capacity, rerun with GOMAXPROCS=%d or record a new baseline",
+				baselinePath, base.GoMaxProcs, cur.GoMaxProcs, base.GoMaxProcs)
+		}
 		fmt.Printf("note: baseline GOMAXPROCS=%d, this run GOMAXPROCS=%d\n",
 			base.GoMaxProcs, cur.GoMaxProcs)
 	}

@@ -19,8 +19,11 @@
 //
 // -shards N (N > 1) runs every simulation on the conservative-parallel
 // engine; results are byte-identical to serial runs, only wall time
-// changes. Snapshots record GOMAXPROCS, the shard count, and the engine
-// mode, and -baseline warns when the two snapshots' modes differ.
+// changes. Snapshots record GOMAXPROCS, the CPU count, the shard count,
+// and the engine mode; -baseline fails (does not warn) when the two
+// snapshots' engine modes or shard counts differ, and when a parallel
+// run is diffed against a baseline taken at a different GOMAXPROCS —
+// those comparisons measure the execution strategy, not a regression.
 package main
 
 import (

@@ -98,19 +98,50 @@ func (r *run) setupParallel() {
 	r.poolNet, r.poolSNIC = packet.NewPool(), packet.NewPool()
 	r.poolHost, r.poolCtrl = packet.NewPool(), packet.NewPool()
 	r.par = &parRun{x: par.New(r.engCtrl,
-		[]*sim.Engine{r.engNet, r.engSNIC, r.engHost}, lookaheadFor(r.cfg.Mode))}
+		[]*sim.Engine{r.engNet, r.engSNIC, r.engHost}, topologyFor(r.cfg.Mode))}
 }
 
-// lookaheadFor is the minimum latency of any worker→worker link in a mode's
-// topology: the PCIe crossing to the SNIC, or the longer host crossing when
-// requests only ever target the host.
-func lookaheadFor(mode Mode) sim.Time {
-	switch mode {
-	case HostOnly, SLBHost:
-		return platform.PCIeCrossNS + platform.SNICCloserNS
-	default:
-		return platform.PCIeCrossNS
+// topologyFor declares the LP graph of a mode: exactly the directed links
+// the mode's hop sites traverse, each at the minimum latency that hop ever
+// carries. The executor derives per-pair window bounds from the all-pairs
+// closure of these links, so a pair no hop connects leaves its destination
+// entirely unconstrained by that source. Side→ctrl egress hops are
+// late-applied by the executor and need no declaration.
+//
+//	net→snic   the eSwitch's SNIC port: PCIe crossing (HAL ingress
+//	           forwards at fwdAt ≥ net-now, so the slack only grows)
+//	net→host   the eSwitch's host port: PCIe plus the extra hop past the
+//	           SNIC to the host
+//	snic→host  SLB's forwarding cores handing a served packet across:
+//	           back over PCIe and in again
+//	host→snic  the same crossing in SLB-host's direction
+func topologyFor(mode Mode) par.Topology {
+	const (
+		toSNIC  = platform.PCIeCrossNS
+		toHost  = platform.PCIeCrossNS + platform.SNICCloserNS
+		between = 2 * platform.PCIeCrossNS
+	)
+	t := par.Topology{Workers: 3}
+	link := func(src, dst int, l sim.Time) {
+		t.Links = append(t.Links, par.Link{Src: src, Dst: dst, Latency: l})
 	}
+	switch mode {
+	case HostOnly:
+		link(shardNet, shardHost, toHost)
+	case SNICOnly:
+		link(shardNet, shardSNIC, toSNIC)
+	case HAL:
+		link(shardNet, shardSNIC, toSNIC)
+		link(shardNet, shardHost, toHost)
+	case SLB:
+		link(shardNet, shardSNIC, toSNIC)
+		link(shardNet, shardHost, toHost)
+		link(shardSNIC, shardHost, between)
+	case SLBHost:
+		link(shardNet, shardHost, toHost)
+		link(shardHost, shardSNIC, between)
+	}
+	return t
 }
 
 // parallelFallback reports why a configuration must run on the serial

@@ -204,7 +204,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	seq := e.nextSeq()
-	if ev := e.q.insertSlot(t); ev != nil {
+	if ev := e.q.insertSlot(t, seq); ev != nil {
 		*ev = event{at: t, seq: seq, fn: fn}
 	} else {
 		e.q.insertOverflow(event{at: t, seq: seq, fn: fn})
@@ -228,7 +228,7 @@ func (e *Engine) AtCall(t Time, call Call, arg any, n int64) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", t, e.now))
 	}
 	seq := e.nextSeq()
-	if ev := e.q.insertSlot(t); ev != nil {
+	if ev := e.q.insertSlot(t, seq); ev != nil {
 		*ev = event{at: t, seq: seq, call: call, arg: arg, n: n}
 	} else {
 		e.q.insertOverflow(event{at: t, seq: seq, call: call, arg: arg, n: n})
@@ -249,6 +249,37 @@ func (e *Engine) InjectAt(t Time, seq uint64, call Call, arg any, n int64) {
 		*ev = event{at: t, seq: seq, call: call, arg: arg, n: n}
 	} else {
 		e.q.insertOverflow(event{at: t, seq: seq, call: call, arg: arg, n: n})
+	}
+}
+
+// Inject is one cross-engine event for InjectBatch: the delivery instant,
+// the sender-drawn seq key, and the payload exactly as InjectAt takes them.
+type Inject struct {
+	At   Time
+	Seq  uint64
+	Call Call
+	Arg  any
+	N    int64
+}
+
+// InjectBatch splices a whole batch of foreign events into the wheel, the
+// bulk form of InjectAt used at parallel-engine delivery barriers: one call
+// per destination per barrier instead of one per message. Every consumed
+// entry is zeroed in place so the caller's reusable outbox slice does not
+// keep delivered Arg payloads (packets) reachable across windows; callers
+// truncate the batch with batch[:0] afterwards and reuse the backing array.
+func (e *Engine) InjectBatch(batch []Inject) {
+	for i := range batch {
+		m := &batch[i]
+		if m.At < e.now {
+			panic(fmt.Sprintf("sim: inject at %d before now %d", m.At, e.now))
+		}
+		if ev := e.q.insertSlotOrdered(m.At, m.Seq); ev != nil {
+			*ev = event{at: m.At, seq: m.Seq, call: m.Call, arg: m.Arg, n: m.N}
+		} else {
+			e.q.insertOverflow(event{at: m.At, seq: m.Seq, call: m.Call, arg: m.Arg, n: m.N})
+		}
+		*m = Inject{}
 	}
 }
 

@@ -6,45 +6,82 @@
 //
 // A simulation is partitioned into worker LPs (shards), each owning one
 // engine on its own goroutine, plus a control engine owned by the
-// coordinator. Shards exchange timestamped messages: a send appends to a
-// shard-local outbox and the coordinator delivers at the next barrier by
-// splicing into the destination wheel (Engine.InjectAt) under the sender-
-// drawn seq key, so a delivered event lands exactly where a serial run
-// would have scheduled it. Every cross-shard link must carry at least
-// Lookahead of latency: a message sent at time t arrives no earlier than
-// t+Lookahead, which is what makes windowed advancement safe.
+// coordinator. The LP graph is data, not code: a Topology declares the
+// directed links messages may travel and the minimum latency of each, and
+// the executor derives every synchronization bound from the all-pairs
+// closure of those declared latencies. Shards exchange timestamped
+// messages: a send appends to a shard-local outbox and is spliced into the
+// destination wheel (Engine.InjectBatch) under the sender-drawn seq key at
+// the next delivery point, so a delivered event lands exactly where a
+// serial run would have scheduled it.
 //
-// # Window protocol
+// # Round protocol
 //
-// The coordinator repeats, from the current barrier time B:
+// Advancement is organized in rounds. From the current barrier time B the
+// coordinator picks a round end E = min(next control event, until): no
+// control event can fire strictly inside a round, which is what lets the
+// whole span run without coordinator involvement. It then computes the
+// participant set — every LP with an event before E, plus every LP a
+// message from one of them could transitively reach over declared links —
+// parks the rest at E directly (idle-shard parking, no goroutine handoff),
+// and issues ONE command per participant. The participants execute the
+// round as a self-synchronized run-ahead plan of consecutive windows:
 //
-//	M  := earliest pending event across all engines and undelivered
-//	      control messages
-//	B' := min(M+Lookahead, next control event, until)
-//	run each shard to B' exclusive (Engine.RunBefore, in parallel)
-//	deliver shard→shard messages (InjectAt)
-//	late-apply control messages due before B' (Engine.RunAsOf), deliver
-//	      those due exactly at B' (InjectAt)
-//	single-step every engine's events at exactly B' in global key order
+//	loop:
+//	  latch.arrive()            // all previous-window runs complete
+//	  inject inbound messages   // InjectBatch into my own wheel
+//	  publish my NextEventAt    // shared horizon array
+//	  latch.arrive()            // every injection and horizon visible
+//	  if every horizon >= E     // identical verdict on every shard
+//	      park at E and return
+//	  if no active LP can reach me over the link closure
+//	      park at E, leave the latch group, and return
+//	  run RunBefore(min(E, min over src of horizon[src]+dist[src][me]))
 //
-// No event before B' can be affected by an undelivered message (every
-// message originates at or after M and arrives at or after M+Lookahead ≥
-// B'), and no control event fires inside a window (B' never exceeds the
-// next control event), so ticks and fault applications always observe
-// shard state at exactly their serial instant. The merged-instant step at
-// B' interleaves same-instant events of different LPs by their composite
-// seq keys — (schedule time, rank, counter) — the same order a serial run
+// The per-window bound is the classic conservative one, evaluated from
+// live horizons: a message from src is sent by an event at or after src's
+// published horizon and arrives at least dist(src→me) later, where dist is
+// the all-pairs shortest-path closure of declared link latencies (the
+// triangle inequality makes multi-hop chains safe). Horizons are
+// re-published every window, so window sizes adapt to the observed event
+// horizon: an LP whose inbound sources are quiet runs straight to E in one
+// window, while tightly coupled LPs pace each other at link latency. The
+// two latch phases replace the per-window coordinator round-trip of the
+// original protocol — the coordinator pays one fan-out/fan-in per ROUND
+// (per control event), not per window.
+//
+// When the plan quiesces the coordinator performs the barrier work exactly
+// as a serial run would observe it at E: control-destined messages are
+// late-applied in key order under a rewound clock (Engine.RunAsOf — they
+// are provably unobservable to the shards), control events strictly before
+// E run, and the merged-instant step executes events at exactly E across
+// all engines in global (at, seq) key order — the same order a serial run
 // derives from its single monotone counter.
 //
-// Control messages (e.g. response deliveries) may be due before B' was
-// even computed; they are provably unobservable to the shards and are
-// late-applied in key order under a rewound clock (Engine.RunAsOf), which
-// reproduces the serial timestamps and order keys in every artifact.
+// # Declared lookahead and the correctness fallback
+//
+// Conservative windows are only sound if every message truly respects its
+// link's declared minimum latency. Rather than trusting the declaration,
+// Send enforces it: a message whose delivery slack undercuts the declared
+// dist(src→dst) — or that travels a link the Topology never declared —
+// fails fast at the send site, BEFORE any window bound computed from the
+// false promise could let a destination run past the delivery instant.
+// Observed per-link slack minima are tracked on the same check and exposed
+// via ObservedSlack, so a Topology whose declared latencies are far below
+// what the model actually exhibits can be tightened from measurements.
+// Widening bounds beyond the declared latencies from observed slack alone
+// would require rollback on a mispredict — byte-identical artifacts leave
+// no room for that — so adaptivity comes from live horizons over exact
+// per-link declarations instead of speculation.
 package par
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"math"
+	"slices"
+	"sync"
+	"sync/atomic"
 
 	"halsim/internal/sim"
 )
@@ -52,61 +89,264 @@ import (
 // CtrlDst addresses the control engine as a message destination.
 const CtrlDst = -1
 
-// Msg is one cross-LP event in flight: the delivery instant, the sender-
-// drawn seq key, and the event payload as the destination will schedule it.
-type Msg struct {
-	At   sim.Time
-	Seq  uint64
-	Call sim.Call
-	Arg  any
-	N    int64
+// Msg is one cross-LP event in flight; it is exactly the engine's batch-
+// injection record, so outboxes deliver straight through Engine.InjectBatch.
+type Msg = sim.Inject
+
+// infTime marks an undeclared (unconstrained) link in the distance matrix.
+// Far below MaxInt64 so horizon+dist sums cannot overflow.
+const infTime = sim.Time(math.MaxInt64 / 4)
+
+// noEvent is the published horizon of an engine with an empty queue.
+const noEvent = sim.Time(math.MaxInt64)
+
+// maxWorkers bounds the worker count (participant sets are bitmasks).
+const maxWorkers = 32
+
+// Link is one directed edge of the LP graph: messages src→dst arrive no
+// earlier than Latency after the instant they are sent. Dst may be CtrlDst;
+// control-destined links are unconstrained (late-applied) and carry the
+// declaration only for documentation and slack accounting.
+type Link struct {
+	Src, Dst int
+	Latency  sim.Time
+}
+
+// Topology declares the LP graph a partitioned simulation runs on: how
+// many worker LPs there are and which directed links cross-LP messages may
+// travel, each with a lower bound on its latency. The executor derives all
+// window bounds from the all-pairs shortest-path closure of the links, so
+// a pair with no declared path is entirely unconstrained — and a send over
+// it is an error the executor reports at the send site.
+type Topology struct {
+	Workers int
+	Links   []Link
+}
+
+// Uniform is the complete LP graph over n workers with one shared minimum
+// latency on every link — the hard-coded shape par.New took before
+// topologies existed, kept for tests and as a conservative default.
+func Uniform(n int, lookahead sim.Time) Topology {
+	t := Topology{Workers: n}
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				t.Links = append(t.Links, Link{Src: s, Dst: d, Latency: lookahead})
+			}
+		}
+	}
+	return t
+}
+
+// distances validates the topology and returns the all-pairs shortest-path
+// closure of the worker→worker link latencies. The closure (rather than
+// the raw links) is what makes per-window bounds safe against multi-hop
+// chains: dist[a][c] <= dist[a][b]+dist[b][c] for every relay b.
+func (t Topology) distances() [][]sim.Time {
+	if t.Workers < 1 || t.Workers > maxWorkers {
+		panic(fmt.Sprintf("par: worker count %d outside 1..%d", t.Workers, maxWorkers))
+	}
+	dist := make([][]sim.Time, t.Workers)
+	for i := range dist {
+		dist[i] = make([]sim.Time, t.Workers)
+		for j := range dist[i] {
+			dist[i][j] = infTime
+		}
+	}
+	for _, l := range t.Links {
+		if l.Src < 0 || l.Src >= t.Workers {
+			panic(fmt.Sprintf("par: link source %d out of range", l.Src))
+		}
+		if (l.Dst < 0 && l.Dst != CtrlDst) || l.Dst >= t.Workers {
+			panic(fmt.Sprintf("par: link destination %d out of range", l.Dst))
+		}
+		if l.Latency <= 0 || l.Latency > sim.SeqMaxTime {
+			panic(fmt.Sprintf("par: link %d→%d latency %v outside (0, %v]", l.Src, l.Dst, l.Latency, sim.SeqMaxTime))
+		}
+		if l.Dst == CtrlDst || l.Src == l.Dst {
+			continue
+		}
+		if l.Latency < dist[l.Src][l.Dst] {
+			dist[l.Src][l.Dst] = l.Latency
+		}
+	}
+	for k := 0; k < t.Workers; k++ {
+		for i := 0; i < t.Workers; i++ {
+			if dist[i][k] == infTime {
+				continue
+			}
+			for j := 0; j < t.Workers; j++ {
+				if dist[k][j] == infTime {
+					continue
+				}
+				if via := dist[i][k] + dist[k][j]; via < dist[i][j] {
+					dist[i][j] = via
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// latch is the reusable window barrier the participant shards synchronize
+// on inside a round: a generation-counted rendezvous that the coordinator
+// re-arms per round and a finished shard can permanently leave.
+type latch struct {
+	mu   sync.Mutex
+	cond sync.Cond
+	n    int // parties still in the group
+	cnt  int // arrived at the current phase
+	gen  uint64
+}
+
+func newLatch() *latch {
+	l := &latch{}
+	l.cond.L = &l.mu
+	return l
+}
+
+// reset re-arms the latch for n parties. Coordinator-only, between rounds.
+func (l *latch) reset(n int) {
+	l.mu.Lock()
+	l.n, l.cnt = n, 0
+	l.mu.Unlock()
+}
+
+// open releases the current phase. Caller holds mu.
+func (l *latch) open() {
+	l.cnt = 0
+	l.gen++
+	l.cond.Broadcast()
+}
+
+// arrive blocks until every party in the group has arrived at this phase.
+func (l *latch) arrive() {
+	l.mu.Lock()
+	g := l.gen
+	l.cnt++
+	if l.cnt >= l.n {
+		l.open()
+	} else {
+		for l.gen == g {
+			l.cond.Wait()
+		}
+	}
+	l.mu.Unlock()
+}
+
+// leave permanently removes one party from the group, releasing the phase
+// if the leaver was the only arrival still missing.
+func (l *latch) leave() {
+	l.mu.Lock()
+	l.n--
+	if l.n > 0 && l.cnt >= l.n {
+		l.open()
+	}
+	l.mu.Unlock()
 }
 
 // shard is one worker LP: an engine, its per-destination outboxes, and the
 // command/result channel pair of its goroutine.
 type shard struct {
 	eng *sim.Engine
+	idx int
 	// out is indexed by destination shard; the last slot is the control
-	// engine. Only the shard's goroutine appends during a window; only the
-	// coordinator drains at barriers (channel handoff orders the two).
-	out  [][]Msg
-	cmd  chan sim.Time
-	res  chan any // recovered panic value, nil on success
-	busy bool     // a command is outstanding (coordinator-side bookkeeping)
+	// engine. Only the shard's goroutine appends while it runs a window;
+	// worker-destined slots are drained by the DESTINATION shard in its
+	// inject phase (the latch orders append and drain), control-destined
+	// ones by the coordinator at round barriers.
+	out []([]Msg)
+	// slackMin tracks the smallest observed delivery slack per destination
+	// (same indexing as out), maintained by the owning goroutine on Send.
+	slackMin []sim.Time
+	cmd      chan struct{}
+	res      chan any // recovered panic value, nil on success
 }
 
 // Exec coordinates the shards and the control engine.
 type Exec struct {
-	shards    []*shard
-	ctrl      *sim.Engine
+	shards []*shard
+	ctrl   *sim.Engine
+	// dist is the all-pairs closure of declared link latencies; cycle[i]
+	// is LP i's shortest round trip through any peer (the earliest one of
+	// its own sends can echo back — infTime when no return path exists);
+	// lookahead is the smallest finite dist entry (drain pacing).
+	dist      [][]sim.Time
+	cycle     []sim.Time
 	lookahead sim.Time
 
 	b        sim.Time // current barrier time
 	ctrlPend []Msg    // undelivered control messages
 	scratch  []Msg    // due control messages, sorted per barrier
 	running  bool
+
+	// Round/plan state. planEnd and inPlan are written by the coordinator
+	// before fan-out; nextAt slot i is written only by shard i between
+	// latch phases (the latch and the cmd/res channels order every access).
+	planEnd  sim.Time
+	inPlan   []bool
+	nextAt   []sim.Time
+	latch    *latch
+	poisoned atomic.Bool
 }
 
-// New builds an executor over the given worker engines and control engine.
-// lookahead must be a lower bound on every cross-shard link latency.
-func New(ctrl *sim.Engine, workers []*sim.Engine, lookahead sim.Time) *Exec {
-	if lookahead <= 0 {
-		panic(fmt.Sprintf("par: non-positive lookahead %d", lookahead))
+// outboxKeepCap bounds the backing-array capacity an outbox or the control
+// pend queue retains after draining, so one bursty window does not pin a
+// huge Msg slab (and its Arg payloads' slots) for the rest of the run.
+const outboxKeepCap = 4096
+
+// New builds an executor over the given worker engines, the control
+// engine, and the declared LP graph. len(workers) must equal topo.Workers;
+// every cross-LP send must travel a declared link and respect its latency.
+func New(ctrl *sim.Engine, workers []*sim.Engine, topo Topology) *Exec {
+	if len(workers) != topo.Workers {
+		panic(fmt.Sprintf("par: %d worker engines for a %d-worker topology", len(workers), topo.Workers))
 	}
-	x := &Exec{ctrl: ctrl, lookahead: lookahead}
-	for _, e := range workers {
+	dist := topo.distances()
+	x := &Exec{ctrl: ctrl, dist: dist, lookahead: infTime, latch: newLatch()}
+	for i := range workers {
+		slack := make([]sim.Time, len(workers)+1)
+		for d := range slack {
+			slack[d] = infTime
+		}
 		x.shards = append(x.shards, &shard{
-			eng: e,
-			out: make([][]Msg, len(workers)+1),
-			cmd: make(chan sim.Time),
-			res: make(chan any),
+			eng:      workers[i],
+			idx:      i,
+			out:      make([][]Msg, len(workers)+1),
+			slackMin: slack,
+			cmd:      make(chan struct{}),
+			res:      make(chan any),
 		})
+		for _, d := range dist[i] {
+			if d < x.lookahead {
+				x.lookahead = d
+			}
+		}
 	}
+	x.cycle = make([]sim.Time, len(workers))
+	for i := range workers {
+		x.cycle[i] = infTime
+		for j := range workers {
+			if j == i || dist[i][j] == infTime || dist[j][i] == infTime {
+				continue
+			}
+			if rt := dist[i][j] + dist[j][i]; rt < x.cycle[i] {
+				x.cycle[i] = rt
+			}
+		}
+	}
+	if x.lookahead == infTime {
+		// No worker→worker links at all: shards only ever talk to the
+		// control engine. Any positive pacing unit works for idle jumps.
+		x.lookahead = sim.Microsecond
+	}
+	x.inPlan = make([]bool, len(workers))
+	x.nextAt = make([]sim.Time, len(workers))
 	return x
 }
 
-// Start launches the shard goroutines. Each loops executing RunBefore
-// commands until Shutdown closes its channel.
+// Start launches the shard goroutines. Each executes one run-ahead plan
+// per command until Shutdown closes its channel.
 func (x *Exec) Start() {
 	if x.running {
 		return
@@ -114,19 +354,11 @@ func (x *Exec) Start() {
 	x.running = true
 	for _, sh := range x.shards {
 		go func(sh *shard) {
-			for deadline := range sh.cmd {
-				sh.res <- runGuarded(sh.eng, deadline)
+			for range sh.cmd {
+				sh.res <- x.runPlanGuarded(sh)
 			}
 		}(sh)
 	}
-}
-
-// runGuarded advances e to deadline, converting a panic into a value so a
-// shard failure surfaces on the coordinator instead of killing the process.
-func runGuarded(e *sim.Engine, deadline sim.Time) (recovered any) {
-	defer func() { recovered = recover() }()
-	e.RunBefore(deadline)
-	return nil
 }
 
 // Shutdown stops the shard goroutines. The executor is not reusable after.
@@ -143,7 +375,9 @@ func (x *Exec) Shutdown() {
 // Send queues a message from shard src (or the control engine, src ==
 // CtrlDst) to shard dst (or the control engine, dst == CtrlDst). It must be
 // called from the goroutine currently owning src: the sending shard's
-// during a window, the coordinator's during a barrier.
+// during a window, the coordinator's during a barrier. Worker→worker sends
+// are checked against the declared topology here — at the send site, before
+// any window bound computed from the declaration could be trusted wrongly.
 func (x *Exec) Send(src, dst int, at sim.Time, seq uint64, call sim.Call, arg any, n int64) {
 	if src == CtrlDst {
 		// Control work sends only at barriers, when the coordinator owns
@@ -159,53 +393,93 @@ func (x *Exec) Send(src, dst int, at sim.Time, seq uint64, call sim.Call, arg an
 	slot := dst
 	if dst == CtrlDst {
 		slot = len(x.shards)
+	} else {
+		slack := at - sh.eng.Now()
+		if d := x.dist[src][dst]; slack < d {
+			if d == infTime {
+				panic(fmt.Sprintf("par: message %d→%d travels an undeclared link (no Topology path)", src, dst))
+			}
+			panic(fmt.Sprintf("par: message %d→%d due at %v undercuts the declared %v link lookahead (slack %v)",
+				src, dst, at, d, slack))
+		}
+	}
+	if at-sh.eng.Now() < sh.slackMin[slot] {
+		sh.slackMin[slot] = at - sh.eng.Now()
 	}
 	sh.out[slot] = append(sh.out[slot], Msg{At: at, Seq: seq, Call: call, Arg: arg, N: n})
+}
+
+// ObservedSlack reports the smallest delivery slack (arrival minus send
+// instant) seen on each src→dst pair, or -1 where no message has traveled
+// yet; index Workers stands for the control destination. Valid between
+// rounds (coordinator-owned state): use it to check how much headroom a
+// declared Topology leaves on the table.
+func (x *Exec) ObservedSlack() [][]sim.Time {
+	m := make([][]sim.Time, len(x.shards))
+	for i, sh := range x.shards {
+		m[i] = make([]sim.Time, len(sh.slackMin))
+		for d, s := range sh.slackMin {
+			if s == infTime {
+				m[i][d] = -1
+			} else {
+				m[i][d] = s
+			}
+		}
+	}
+	return m
 }
 
 // Now reports the current barrier time.
 func (x *Exec) Now() sim.Time { return x.b }
 
-// AdvanceTo runs the simulation through `until` inclusive: windows cover
+// AdvanceTo runs the simulation through `until` inclusive: rounds cover
 // [B, until) and the final merged-instant step executes events at exactly
 // `until`, matching the serial engine's inclusive RunUntil.
 func (x *Exec) AdvanceTo(until sim.Time) {
 	for x.b < until {
-		bp := x.boundary(until)
-		x.window(bp)
+		end := until
+		if ca, ok := x.ctrl.NextEventAt(); ok && ca < end {
+			end = ca
+		}
+		x.round(end)
 	}
 }
 
-// DrainAll runs windows until every engine, outbox, and pending control
+// DrainAll runs rounds until every engine, outbox, and pending control
 // message is exhausted — the parallel form of Engine.Run after stop/cancel.
+// Idle gaps are jumped, not crawled: each round starts at the earliest
+// pending instant, however far away.
 func (x *Exec) DrainAll() {
 	for {
+		x.refreshNext()
 		m, ok := x.minNext()
 		if !ok {
 			return
 		}
-		bp := m + x.lookahead
-		if ca, ok := x.ctrl.NextEventAt(); ok && ca < bp {
-			bp = ca
+		end := m + x.drainChunk()
+		if ca, ok := x.ctrl.NextEventAt(); ok && ca < end {
+			end = ca
 		}
-		x.window(bp)
+		x.round(end)
 	}
 }
 
-// boundary picks the next barrier time for a run bounded by `until`.
-func (x *Exec) boundary(until sim.Time) sim.Time {
-	bp := until
-	if m, ok := x.minNext(); ok && m+x.lookahead < bp {
-		bp = m + x.lookahead
+// drainChunk is how far past the earliest pending event a drain round may
+// reach when no control event bounds it. Plans quiesce early on their own,
+// so a generous chunk costs nothing beyond final clock parking; it exists
+// only to keep parked clocks within sight of the work that remains.
+func (x *Exec) drainChunk() sim.Time {
+	c := x.lookahead * 1024
+	if c > sim.Second || c <= 0 {
+		c = sim.Second
 	}
-	if ca, ok := x.ctrl.NextEventAt(); ok && ca < bp {
-		bp = ca
-	}
-	return bp
+	return c
 }
 
-// minNext reports the earliest pending event time across every engine and
-// undelivered control message.
+// minNext reports the earliest pending instant across the cached worker
+// horizons, the control engine, and undelivered control messages. Workers
+// are NOT re-polled here: refreshNext maintains the cache at round
+// boundaries, and shards publish their own horizons inside rounds.
 func (x *Exec) minNext() (sim.Time, bool) {
 	var m sim.Time
 	ok := false
@@ -217,8 +491,8 @@ func (x *Exec) minNext() (sim.Time, bool) {
 	if at, o := x.ctrl.NextEventAt(); o {
 		consider(at)
 	}
-	for _, sh := range x.shards {
-		if at, o := sh.eng.NextEventAt(); o {
+	for _, at := range x.nextAt {
+		if at != noEvent {
 			consider(at)
 		}
 	}
@@ -228,43 +502,230 @@ func (x *Exec) minNext() (sim.Time, bool) {
 	return m, ok
 }
 
-// window advances the whole simulation to barrier time bp: the parallel
-// exclusive phase, message delivery, late control application, and the
-// merged-instant step at bp itself.
-func (x *Exec) window(bp sim.Time) {
-	// Parallel phase: shards with work before bp run on their goroutines;
-	// idle shards just park their clock (coordinator-side, no handoff).
-	for _, sh := range x.shards {
-		if at, ok := sh.eng.NextEventAt(); ok && at < bp {
-			sh.cmd <- bp
-			sh.busy = true
+// refreshNext re-polls every worker engine into the cached horizon array.
+// Called at round boundaries, where control work may have scheduled into
+// worker wheels; inside rounds the shards publish their own slots.
+func (x *Exec) refreshNext() {
+	for i, sh := range x.shards {
+		if at, ok := sh.eng.NextEventAt(); ok {
+			x.nextAt[i] = at
 		} else {
-			sh.eng.RunBefore(bp)
+			x.nextAt[i] = noEvent
 		}
 	}
-	var panicked any
-	for _, sh := range x.shards {
-		if sh.busy {
-			if r := <-sh.res; r != nil && panicked == nil {
-				panicked = r
-			}
-			sh.busy = false
-		}
-	}
-	if panicked != nil {
-		panic(panicked)
-	}
-
-	x.deliver()
-	x.lateCtrl(bp)
-	x.ctrl.RunBefore(bp)
-	x.mergedInstant(bp)
-	x.deliver()
-	x.b = bp
 }
 
-// deliver drains every outbox: shard-destined messages splice into the
-// destination wheel, control-destined ones queue for lateCtrl.
+// activeClosure returns the bitmask of LPs that must participate in a
+// round ending at end: those with an event before end, plus every LP a
+// message originating in the set could transitively reach over declared
+// links. Everything outside the set provably neither executes nor receives
+// before end and is parked coordinator-side without a handoff.
+func (x *Exec) activeClosure(end sim.Time) uint64 {
+	var mask uint64
+	for i := range x.shards {
+		if x.nextAt[i] < end {
+			mask |= 1 << i
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for s := range x.shards {
+			if mask&(1<<s) == 0 {
+				continue
+			}
+			for d, l := range x.dist[s] {
+				if l != infTime && mask&(1<<d) == 0 {
+					mask |= 1 << d
+					changed = true
+				}
+			}
+		}
+	}
+	return mask
+}
+
+// round advances the whole simulation to barrier time end: the run-ahead
+// plan over the participant shards, control-message late application,
+// control events, and the merged-instant step at end itself.
+func (x *Exec) round(end sim.Time) {
+	x.refreshNext()
+	mask := x.activeClosure(end)
+	nparts := 0
+	for i, sh := range x.shards {
+		if mask&(1<<i) == 0 {
+			// Idle-shard parking: no events before end and unreachable
+			// from any LP that has them — advance the clock in place.
+			sh.eng.RunBefore(end)
+			x.inPlan[i] = false
+		} else {
+			x.inPlan[i] = true
+			nparts++
+		}
+	}
+	if nparts > 0 {
+		x.planEnd = end
+		x.latch.reset(nparts)
+		x.poisoned.Store(false)
+		for i, sh := range x.shards {
+			if x.inPlan[i] {
+				sh.cmd <- struct{}{}
+			}
+		}
+		var panicked any
+		for i, sh := range x.shards {
+			if x.inPlan[i] {
+				if r := <-sh.res; r != nil && panicked == nil {
+					panicked = r
+				}
+			}
+		}
+		if panicked != nil {
+			panic(panicked)
+		}
+	}
+
+	x.deliver()
+	x.lateCtrl(end)
+	x.ctrl.RunBefore(end)
+	x.mergedInstant(end)
+	x.deliver()
+	x.b = end
+}
+
+// runPlanGuarded executes one plan on a shard goroutine, converting a
+// panic into a value so a shard failure surfaces on the coordinator
+// instead of killing the process. A panicking shard poisons the plan and
+// leaves the latch group so its peers unwind instead of deadlocking.
+func (x *Exec) runPlanGuarded(sh *shard) (recovered any) {
+	defer func() {
+		if r := recover(); r != nil {
+			recovered = r
+			x.poisoned.Store(true)
+			x.latch.leave()
+		}
+	}()
+	x.runPlan(sh)
+	return nil
+}
+
+// runPlan is the participant side of a round: consecutive conservative
+// windows self-synchronized over the latch, with live horizon publication
+// and direct inbound delivery, until everything before planEnd is done.
+func (x *Exec) runPlan(sh *shard) {
+	me := sh.idx
+	end := x.planEnd
+	for {
+		x.latch.arrive() // every previous-window run complete
+		if x.poisoned.Load() {
+			return
+		}
+		x.injectInbound(sh)
+		if at, ok := sh.eng.NextEventAt(); ok {
+			x.nextAt[me] = at
+		} else {
+			x.nextAt[me] = noEvent
+		}
+		x.latch.arrive() // every injection and horizon visible
+		if x.poisoned.Load() {
+			return
+		}
+		quiet, reachable, bound := x.planStep(me, end)
+		if quiet {
+			sh.eng.RunBefore(end)
+			return
+		}
+		if !reachable && x.nextAt[me] >= end {
+			// Nothing local before end and no active LP can reach this
+			// one: park and hand the latch back for good.
+			sh.eng.RunBefore(end)
+			x.latch.leave()
+			return
+		}
+		sh.eng.RunBefore(bound)
+	}
+}
+
+// planStep evaluates the shared horizon array for shard me: whether the
+// whole plan has quiesced, whether any LP that still has work can reach me
+// over declared links, and my next window bound. Every participant reads
+// the same latch-ordered array, so the quiesce/leave verdicts agree.
+func (x *Exec) planStep(me int, end sim.Time) (quiet, reachable bool, bound sim.Time) {
+	quiet = true
+	var active uint64
+	for s := range x.shards {
+		if x.nextAt[s] < end {
+			quiet = false
+			active |= 1 << s
+		}
+	}
+	if quiet {
+		return true, false, end
+	}
+	// Window bound: a message from src is sent at or after src's horizon
+	// and arrives at least dist(src→me) later; quiet sources bound nothing
+	// before end. Transitive chains through peers are covered by the
+	// triangle inequality of the all-pairs closure; a chain seeded by MY
+	// OWN next event can echo back no earlier than one full round trip,
+	// hence the self term over cycle[me].
+	bound = end
+	for s := range x.shards {
+		if s == me || x.nextAt[s] >= end {
+			continue
+		}
+		if d := x.dist[s][me]; d != infTime {
+			if b := x.nextAt[s] + d; b < bound {
+				bound = b
+			}
+		}
+	}
+	if x.nextAt[me] < end && x.cycle[me] != infTime {
+		if b := x.nextAt[me] + x.cycle[me]; b < bound {
+			bound = b
+		}
+	}
+	// Reachability of me from the active set (for the early-leave check).
+	for changed := true; changed; {
+		changed = false
+		for s := range x.shards {
+			if active&(1<<s) == 0 {
+				continue
+			}
+			for d, l := range x.dist[s] {
+				if l != infTime && active&(1<<d) == 0 {
+					active |= 1 << d
+					changed = true
+				}
+			}
+		}
+	}
+	return false, active&(1<<me) != 0, bound
+}
+
+// injectInbound drains every peer outbox destined to shard me into my own
+// wheel — one InjectBatch per non-empty source — and caps the retained
+// backing capacity so bursty windows do not pin slabs for the whole run.
+func (x *Exec) injectInbound(sh *shard) {
+	me := sh.idx
+	for _, src := range x.shards {
+		if src == sh {
+			continue
+		}
+		msgs := src.out[me]
+		if len(msgs) == 0 {
+			continue
+		}
+		sh.eng.InjectBatch(msgs)
+		if cap(msgs) > outboxKeepCap {
+			src.out[me] = nil
+		} else {
+			src.out[me] = msgs[:0]
+		}
+	}
+}
+
+// deliver drains every outbox at a coordinator barrier: worker-destined
+// stragglers (sends issued by merged-instant events) splice into their
+// destination wheels, control-destined ones queue for lateCtrl.
 func (x *Exec) deliver() {
 	ctrlSlot := len(x.shards)
 	for _, sh := range x.shards {
@@ -274,14 +735,17 @@ func (x *Exec) deliver() {
 			}
 			if dst == ctrlSlot {
 				x.ctrlPend = append(x.ctrlPend, msgs...)
-			} else {
-				de := x.shards[dst].eng
 				for i := range msgs {
-					m := &msgs[i]
-					de.InjectAt(m.At, m.Seq, m.Call, m.Arg, m.N)
+					msgs[i] = Msg{}
 				}
+			} else {
+				x.shards[dst].eng.InjectBatch(msgs)
 			}
-			sh.out[dst] = msgs[:0]
+			if cap(msgs) > outboxKeepCap {
+				sh.out[dst] = nil
+			} else {
+				sh.out[dst] = msgs[:0]
+			}
 		}
 	}
 }
@@ -295,6 +759,9 @@ func (x *Exec) lateCtrl(bp sim.Time) {
 		return
 	}
 	due := x.scratch[:0]
+	if cap(due) < len(x.ctrlPend) {
+		due = make([]Msg, 0, len(x.ctrlPend))
+	}
 	keep := x.ctrlPend[:0]
 	for _, m := range x.ctrlPend {
 		if m.At <= bp {
@@ -308,11 +775,11 @@ func (x *Exec) lateCtrl(bp sim.Time) {
 	if len(due) == 0 {
 		return
 	}
-	sort.Slice(due, func(i, j int) bool {
-		if due[i].At != due[j].At {
-			return due[i].At < due[j].At
+	slices.SortFunc(due, func(a, b Msg) int {
+		if a.At != b.At {
+			return cmp.Compare(a.At, b.At)
 		}
-		return due[i].Seq < due[j].Seq
+		return cmp.Compare(a.Seq, b.Seq)
 	})
 	for i := range due {
 		m := &due[i]
@@ -322,6 +789,12 @@ func (x *Exec) lateCtrl(bp sim.Time) {
 			x.ctrl.RunAsOf(m.At, m.Seq, m.Call, m.Arg, m.N)
 		}
 		m.Arg = nil
+	}
+	if cap(x.scratch) > outboxKeepCap {
+		x.scratch = nil
+	}
+	if len(x.ctrlPend) == 0 && cap(x.ctrlPend) > outboxKeepCap {
+		x.ctrlPend = nil
 	}
 }
 

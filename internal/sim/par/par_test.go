@@ -3,6 +3,7 @@ package par_test
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"halsim/internal/sim"
@@ -20,6 +21,9 @@ const (
 	stride    = 4
 	lookahead = sim.Time(40)
 )
+
+// noPath marks an unlinked pair in a test-side distance matrix.
+const noPath = sim.Time(1) << 60
 
 // action is one scripted consequence of an event firing: schedule a local
 // follow-up or send to another node.
@@ -40,11 +44,65 @@ type entry struct {
 	ID   int64
 }
 
+// uniformDist is the distance matrix of the complete graph with one shared
+// latency — what par.Uniform declares.
+func uniformDist(workers int, la sim.Time) [][]sim.Time {
+	m := make([][]sim.Time, workers)
+	for i := range m {
+		m[i] = make([]sim.Time, workers)
+		for j := range m[i] {
+			if i != j {
+				m[i][j] = la
+			}
+		}
+	}
+	return m
+}
+
+// closure turns a direct-link latency matrix into its all-pairs
+// shortest-path form in place: the test-side mirror of the executor's own
+// derivation, so scripted send delays respect exactly the bounds the
+// executor will enforce.
+func closure(m [][]sim.Time) {
+	n := len(m)
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if m[i][k] >= noPath {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if m[k][j] >= noPath {
+					continue
+				}
+				if via := m[i][k] + m[k][j]; via < m[i][j] {
+					m[i][j] = via
+				}
+			}
+		}
+	}
+}
+
 // buildScript grows a deterministic random event tree over n worker nodes
-// plus a control node (index n). Latencies respect the residue scheme and
-// the lookahead for worker→worker edges; worker→ctrl edges get deliberately
-// sub-lookahead latencies to exercise late control application.
+// plus a control node (index n), over the complete uniform-lookahead graph.
 func buildScript(rng *rand.Rand, workers, events int) *script {
+	return buildScriptDist(rng, workers, events, uniformDist(workers, lookahead))
+}
+
+// buildScriptDist is buildScript over an arbitrary distance matrix (the
+// closure of some topology's links): worker→worker hops only target nodes
+// the source has a path to, with delays at or above the path latency,
+// rounded to preserve the destination's residue. Latencies must be stride
+// multiples for the residue scheme to hold. Worker→ctrl edges get
+// deliberately tiny latencies to exercise late control application.
+func buildScriptDist(rng *rand.Rand, workers, events int, dist [][]sim.Time) *script {
+	reach := make([][]int, workers)
+	for i := 0; i < workers; i++ {
+		for j := 0; j < workers; j++ {
+			if i != j && dist[i][j] < noPath {
+				reach[i] = append(reach[i], j)
+			}
+		}
+	}
 	s := &script{acts: map[int64][]action{}}
 	id := int64(0)
 	var grow func(node int, depth int) int64
@@ -60,19 +118,19 @@ func buildScript(rng *rand.Rand, workers, events int) *script {
 		for k := 0; k < kids && id < int64(events); k++ {
 			var a action
 			switch r := rng.Intn(4); {
-			case r < 2: // local follow-up, residue-preserving delay
-				a.dst = node
-				a.delay = sim.Time(rng.Intn(30)+1) * stride
-			case r == 2 && node < workers: // worker→worker hop
-				a.dst = rng.Intn(workers)
+			case r == 2 && node < workers && len(reach[node]) > 0: // worker→worker hop
+				a.dst = reach[node][rng.Intn(len(reach[node]))]
 				diff := (a.dst - node) % stride
 				if diff < 0 {
 					diff += stride
 				}
-				a.delay = lookahead + sim.Time(diff) + sim.Time(rng.Intn(8))*stride
-			default: // →ctrl, may undercut the lookahead
+				a.delay = dist[node][a.dst] + sim.Time(diff) + sim.Time(rng.Intn(8))*stride
+			case r == 3: // →ctrl, may undercut every lookahead
 				a.dst = workers
 				a.delay = sim.Time(rng.Intn(60) + 1)
+			default: // local follow-up, residue-preserving delay
+				a.dst = node
+				a.delay = sim.Time(rng.Intn(30)+1) * stride
 			}
 			a.child = grow(a.dst, depth+1)
 			s.acts[me] = append(s.acts[me], a)
@@ -95,8 +153,8 @@ func buildScript(rng *rand.Rand, workers, events int) *script {
 	return s
 }
 
-// runner executes a script either serially (one engine, x == nil) or under
-// the parallel executor.
+// runner executes a script either serially (one engine, topo == nil) or
+// under the parallel executor partitioned by the given topology.
 type runner struct {
 	s       *script
 	engines []*sim.Engine // per node; all aliases of one engine when serial
@@ -106,8 +164,16 @@ type runner struct {
 }
 
 func newRunner(s *script, workers int, parallel bool) *runner {
-	r := &runner{s: s, logs: make([][]entry, workers+1)}
 	if !parallel {
+		return newRunnerTopo(s, workers, nil)
+	}
+	t := par.Uniform(workers, lookahead)
+	return newRunnerTopo(s, workers, &t)
+}
+
+func newRunnerTopo(s *script, workers int, topo *par.Topology) *runner {
+	r := &runner{s: s, logs: make([][]entry, workers+1)}
+	if topo == nil {
 		e := sim.NewEngine()
 		for n := 0; n <= workers; n++ {
 			r.engines = append(r.engines, e)
@@ -122,7 +188,7 @@ func newRunner(s *script, workers int, parallel bool) *runner {
 		ctrl := sim.NewEngine()
 		ctrl.SetRank(3)
 		r.engines = append(w, ctrl)
-		r.x = par.New(ctrl, w, lookahead)
+		r.x = par.New(ctrl, w, *topo)
 	}
 	for n := 0; n <= workers; n++ {
 		node := n
@@ -189,6 +255,60 @@ func TestParallelMatchesSerialOracle(t *testing.T) {
 	}
 }
 
+// The same property over randomized sparse topologies: random directed
+// link sets with per-link latencies, scripts that only send over declared
+// paths. Exercises the all-pairs closure (multi-hop chains), per-pair
+// window bounds, the self-echo cycle term, idle parking, and early leave —
+// every run must still match the single-engine oracle exactly.
+func TestRandomTopologyMatchesSerialOracle(t *testing.T) {
+	for seed := int64(1); seed <= 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := 2 + rng.Intn(2)
+		topo := par.Topology{Workers: w}
+		dist := make([][]sim.Time, w)
+		for i := range dist {
+			dist[i] = make([]sim.Time, w)
+			for j := range dist[i] {
+				if i != j {
+					dist[i][j] = noPath
+				}
+			}
+		}
+		for i := 0; i < w; i++ {
+			for j := 0; j < w; j++ {
+				if i == j || rng.Intn(10) >= 7 {
+					continue
+				}
+				l := sim.Time(stride) * sim.Time(5+rng.Intn(15))
+				topo.Links = append(topo.Links, par.Link{Src: i, Dst: j, Latency: l})
+				dist[i][j] = l
+			}
+		}
+		closure(dist)
+		s := buildScriptDist(rng, w, 200, dist)
+		ser := newRunnerTopo(s, w, nil)
+		ser.run(500)
+		pp := newRunnerTopo(s, w, &topo)
+		pp.run(500)
+		for n := range ser.logs {
+			if !reflect.DeepEqual(ser.logs[n], pp.logs[n]) {
+				t.Fatalf("seed %d topo %v node %d:\nserial   %v\nparallel %v",
+					seed, topo.Links, n, ser.logs[n], pp.logs[n])
+			}
+		}
+		// Every observed slack must hold the declared promise the bounds
+		// were derived from.
+		for src, row := range pp.x.ObservedSlack() {
+			for dst, sl := range row {
+				if dst < w && sl >= 0 && sl < dist[src][dst] {
+					t.Fatalf("seed %d: observed slack %v on %d→%d below declared %v",
+						seed, sl, src, dst, dist[src][dst])
+				}
+			}
+		}
+	}
+}
+
 func TestParallelDeterministic(t *testing.T) {
 	s := buildScript(rand.New(rand.NewSource(42)), 3, 300)
 	a := newRunner(s, 3, true)
@@ -207,7 +327,7 @@ func TestMergedInstantSchedTimeOrder(t *testing.T) {
 	ea.SetRank(0)
 	eb.SetRank(1)
 	ctrl.SetRank(3)
-	x := par.New(ctrl, []*sim.Engine{ea, eb}, lookahead)
+	x := par.New(ctrl, []*sim.Engine{ea, eb}, par.Uniform(2, lookahead))
 	var order []string
 	// A control event at t=100 forces a barrier exactly there, so every
 	// engine's t=100 events run in the coordinator's merged-instant step.
@@ -229,13 +349,45 @@ func TestMergedInstantSchedTimeOrder(t *testing.T) {
 	}
 }
 
+// A cross-LP message due EXACTLY at a barrier racing a control event at
+// the same instant: the message (worker-destined) and a control-destined
+// sibling must both land in the merged-instant step and interleave with
+// the control event in serial key order — schedule time dominates, so the
+// control event (scheduled at 0) runs before both messages (drawn at 10),
+// and the two messages keep their draw order.
+func TestBarrierExactMessageRacesCtrlEvent(t *testing.T) {
+	ea, eb, ctrl := sim.NewEngine(), sim.NewEngine(), sim.NewEngine()
+	ea.SetRank(0)
+	eb.SetRank(1)
+	ctrl.SetRank(3)
+	x := par.New(ctrl, []*sim.Engine{ea, eb}, par.Uniform(2, lookahead))
+	var order []string
+	ctrl.AtCall(100, func(any, int64) { order = append(order, "ctrl") }, nil, 0)
+	ea.AtCall(10, func(any, int64) {
+		x.Send(0, 1, 100, ea.AllocSeq(),
+			func(any, int64) { order = append(order, "msg") }, nil, 0)
+		x.Send(0, par.CtrlDst, 100, ea.AllocSeq(),
+			func(any, int64) { order = append(order, "cmsg") }, nil, 0)
+	}, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	x.AdvanceTo(200)
+	want := []string{"ctrl", "msg", "cmsg"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("barrier-instant order = %v, want %v", order, want)
+	}
+	if eb.Now() != 200 || ctrl.Now() != 200 {
+		t.Fatalf("clocks = %v/%v, want parked at 200", eb.Now(), ctrl.Now())
+	}
+}
+
 // Control messages with sub-lookahead latency are late-applied with the
 // serial timestamp visible through Now, in (at, seq) order.
 func TestLateControlApplication(t *testing.T) {
 	ea, ctrl := sim.NewEngine(), sim.NewEngine()
 	ea.SetRank(0)
 	ctrl.SetRank(3)
-	x := par.New(ctrl, []*sim.Engine{ea}, 1000)
+	x := par.New(ctrl, []*sim.Engine{ea}, par.Uniform(1, 1000))
 	var got []sim.Time
 	deliver := func(any, int64) { got = append(got, ctrl.Now()) }
 	ea.AtCall(10, func(any, int64) {
@@ -254,13 +406,71 @@ func TestLateControlApplication(t *testing.T) {
 	}
 }
 
+// A worker with no pending events that no active LP can reach over the
+// declared links must be parked by the coordinator in place — no plan
+// participation — while its clock still tracks every barrier.
+func TestIdleShardParking(t *testing.T) {
+	ea, eb, ctrl := sim.NewEngine(), sim.NewEngine(), sim.NewEngine()
+	ea.SetRank(0)
+	eb.SetRank(1)
+	ctrl.SetRank(3)
+	// Only b→a is declared: a's activity cannot reach b, so b (empty) is
+	// parked every round even while a works.
+	topo := par.Topology{Workers: 2, Links: []par.Link{{Src: 1, Dst: 0, Latency: 48}}}
+	x := par.New(ctrl, []*sim.Engine{ea, eb}, topo)
+	fired := 0
+	var tick func(any, int64)
+	tick = func(any, int64) {
+		fired++
+		if ea.Now() < 900 {
+			ea.AtCall(ea.Now()+100, tick, nil, 0)
+		}
+	}
+	ea.AtCall(100, tick, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	x.AdvanceTo(1000)
+	if fired != 9 {
+		t.Fatalf("fired %d ticks, want 9", fired)
+	}
+	if ea.Now() != 1000 || eb.Now() != 1000 || ctrl.Now() != 1000 {
+		t.Fatalf("clocks = %v/%v/%v, want all parked at 1000",
+			ea.Now(), eb.Now(), ctrl.Now())
+	}
+}
+
+// DrainAll with every engine empty and only an undelivered control message
+// remaining: the drain must still late-apply it at its serial timestamp
+// and terminate.
+func TestDrainAllCtrlPendOnly(t *testing.T) {
+	ea, ctrl := sim.NewEngine(), sim.NewEngine()
+	ea.SetRank(0)
+	ctrl.SetRank(3)
+	x := par.New(ctrl, []*sim.Engine{ea}, par.Uniform(1, 10))
+	var got []sim.Time
+	ea.AtCall(10, func(any, int64) {
+		x.Send(0, par.CtrlDst, 5000, ea.AllocSeq(),
+			func(any, int64) { got = append(got, ctrl.Now()) }, nil, 0)
+	}, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	x.AdvanceTo(20)
+	if len(got) != 0 {
+		t.Fatalf("far-future ctrl message applied early: %v", got)
+	}
+	x.DrainAll()
+	if want := []sim.Time{5000}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("drained ctrl delivery times = %v, want %v", got, want)
+	}
+}
+
 // DrainAll must jump idle gaps (a far-future sentinel would otherwise cost
 // billions of lookahead windows) and terminate when everything is empty.
 func TestDrainJumpsIdleGaps(t *testing.T) {
 	ea, ctrl := sim.NewEngine(), sim.NewEngine()
 	ea.SetRank(0)
 	ctrl.SetRank(3)
-	x := par.New(ctrl, []*sim.Engine{ea}, 10)
+	x := par.New(ctrl, []*sim.Engine{ea}, par.Uniform(1, 10))
 	fired := sim.Time(0)
 	sentinel := sim.Time(3600) * sim.Second
 	ea.AtCall(sentinel, func(any, int64) { fired = ea.Now() }, nil, 0)
@@ -275,13 +485,63 @@ func TestDrainJumpsIdleGaps(t *testing.T) {
 
 func TestShardPanicPropagates(t *testing.T) {
 	ea, ctrl := sim.NewEngine(), sim.NewEngine()
-	x := par.New(ctrl, []*sim.Engine{ea}, 10)
+	x := par.New(ctrl, []*sim.Engine{ea}, par.Uniform(1, 10))
 	ea.AtCall(5, func(any, int64) { panic("boom") }, nil, 0)
 	x.Start()
 	defer x.Shutdown()
 	defer func() {
 		if r := recover(); r != "boom" {
 			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	x.AdvanceTo(100)
+	t.Fatal("expected panic")
+}
+
+// A send over a link the Topology never declared must fail at the send
+// site — before any window bound computed from the declaration could let
+// the destination run past the delivery instant.
+func TestSendUndeclaredLinkPanics(t *testing.T) {
+	ea, eb, ctrl := sim.NewEngine(), sim.NewEngine(), sim.NewEngine()
+	ea.SetRank(0)
+	eb.SetRank(1)
+	ctrl.SetRank(3)
+	topo := par.Topology{Workers: 2, Links: []par.Link{{Src: 1, Dst: 0, Latency: 48}}}
+	x := par.New(ctrl, []*sim.Engine{ea, eb}, topo)
+	ea.AtCall(10, func(any, int64) {
+		x.Send(0, 1, ea.Now()+1000, ea.AllocSeq(), func(any, int64) {}, nil, 0)
+	}, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	defer func() {
+		r := recover()
+		s, _ := r.(string)
+		if !strings.Contains(s, "undeclared") {
+			t.Fatalf("recovered %v, want undeclared-link panic", r)
+		}
+	}()
+	x.AdvanceTo(100)
+	t.Fatal("expected panic")
+}
+
+// A send whose delivery slack undercuts the declared link latency is the
+// broken promise the conservative bounds rest on: it must fail fast.
+func TestSendLookaheadViolationPanics(t *testing.T) {
+	ea, eb, ctrl := sim.NewEngine(), sim.NewEngine(), sim.NewEngine()
+	ea.SetRank(0)
+	eb.SetRank(1)
+	ctrl.SetRank(3)
+	x := par.New(ctrl, []*sim.Engine{ea, eb}, par.Uniform(2, lookahead))
+	ea.AtCall(10, func(any, int64) {
+		x.Send(0, 1, ea.Now()+lookahead-1, ea.AllocSeq(), func(any, int64) {}, nil, 0)
+	}, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	defer func() {
+		r := recover()
+		s, _ := r.(string)
+		if !strings.Contains(s, "undercuts") {
+			t.Fatalf("recovered %v, want lookahead-violation panic", r)
 		}
 	}()
 	x.AdvanceTo(100)

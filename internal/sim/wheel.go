@@ -26,7 +26,12 @@ import "math/bits"
 // construction:
 //
 //   - Direct inserts append to a slot's tail, so a level-0 slot lists one
-//     instant's events in ascending seq.
+//     instant's events in ascending seq. On an ordered wheel (one that has
+//     received foreign events) they splice by seq instead: a mid-window
+//     injection can pre-file a foreign seq LARGER than a local seq a
+//     later schedule draws for the same instant — the sender's clock runs
+//     ahead of the destination's between synchronization points — so the
+//     append invariant only holds against other local inserts.
 //   - For a fixed instant, residence level is non-increasing in seq: a
 //     level-0 insert requires the window to have reached the instant, a
 //     level-l insert happened when the instant was beyond the window (or
@@ -194,11 +199,13 @@ func (w *timerWheel) place(at Time) (l int, idx int, ok bool) {
 // caller to fill in place: one set of stores into the slab instead of a
 // stack construction plus a 56-byte copy. A nil return means at lies
 // beyond the horizon; the caller hands the built event to insertOverflow.
-func (w *timerWheel) insertSlot(at Time) *event {
+// On an ordered wheel the local seq must splice against resident foreign
+// seqs (see the determinism contract above), so the caller passes it in.
+func (w *timerWheel) insertSlot(at Time, seq uint64) *event {
 	if !w.inited {
 		w.init()
 	}
-	if w.headValid && at < w.headAt {
+	if w.headValid && (at < w.headAt || (w.ordered && at == w.headAt)) {
 		w.headValid = false
 	}
 	l, idx, ok := w.place(at)
@@ -219,7 +226,11 @@ func (w *timerWheel) insertSlot(at Time) *event {
 		n = int32(len(w.slab) - 1)
 	}
 	w.slab[n].next = -1
-	w.appendNode(l, idx, n)
+	if w.ordered {
+		w.insertNodeBySeq(l, idx, n, seq)
+	} else {
+		w.appendNode(l, idx, n)
+	}
 	w.size++
 	return &w.slab[n].ev
 }

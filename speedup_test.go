@@ -1,0 +1,77 @@
+// Multi-core speedup gate for the conservative-parallel engine.
+//
+// The golden battery proves the parallel engine is *correct* (byte-identical
+// to serial); this test proves it is *worth having*: on a machine with real
+// cores, sharding the Table V matrix must not be slower than running it
+// serially. It is opt-in (HAL_MULTICORE_GATE=1) because wall-clock
+// assertions are meaningless on shared or single-core machines — CI's
+// dedicated multi-core bench job sets the variable, everywhere else the
+// test announces exactly why it did not run.
+package halsim_test
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"halsim"
+)
+
+// speedupRuns is the min-of-N noise floor: each engine is timed this many
+// times and the fastest run counts, so a scheduler hiccup in one run
+// cannot fail the gate.
+const speedupRuns = 2
+
+// TestParallelSpeedupMultiCore times Table V serially and at Shards=4 and
+// fails if the parallel engine loses. HAL_PARALLELISM is pinned to 1 so
+// the experiment driver cannot fan runs out itself — the only concurrency
+// under test is the engine's own shard goroutines.
+func TestParallelSpeedupMultiCore(t *testing.T) {
+	if os.Getenv("HAL_MULTICORE_GATE") != "1" {
+		t.Skip("skipping multi-core speedup gate: set HAL_MULTICORE_GATE=1 to enable (CI's bench-multicore job does)")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("skipping multi-core speedup gate: need >= 4 CPUs for a meaningful measurement, have %d", n)
+	}
+	t.Setenv("HAL_PARALLELISM", "1")
+
+	opts := halsim.ExperimentOptions{
+		Duration:      20 * halsim.Millisecond,
+		TraceDuration: 40 * halsim.Millisecond,
+		Seed:          1,
+	}
+	timeTable5 := func(o halsim.ExperimentOptions) time.Duration {
+		best := time.Duration(0)
+		for i := 0; i < speedupRuns; i++ {
+			start := time.Now()
+			r, err := halsim.Table5(o)
+			el := time.Since(start)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Rows) != 30 {
+				t.Fatalf("Table5 returned %d rows, want 30", len(r.Rows))
+			}
+			if i == 0 || el < best {
+				best = el
+			}
+		}
+		return best
+	}
+
+	serialOpts := opts
+	serialOpts.Shards = 0
+	parOpts := opts
+	parOpts.Shards = 4
+
+	serial := timeTable5(serialOpts)
+	parallel := timeTable5(parOpts)
+	speedup := float64(serial) / float64(parallel)
+	t.Logf("Table5 serial %v, shards=4 %v, speedup %.2fx (NumCPU=%d, GOMAXPROCS=%d, min of %d)",
+		serial, parallel, speedup, runtime.NumCPU(), runtime.GOMAXPROCS(0), speedupRuns)
+	if parallel > serial {
+		t.Errorf("parallel engine slower than serial on a %d-CPU machine: serial %v, shards=4 %v (%.2fx)",
+			runtime.NumCPU(), serial, parallel, speedup)
+	}
+}
