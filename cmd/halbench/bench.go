@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"halsim/internal/nf"
 	"halsim/internal/server"
 	"halsim/internal/sim"
+	"halsim/internal/trace"
 )
 
 // benchResult is one measurement row of the BENCH_*.json snapshot.
@@ -43,10 +45,17 @@ type benchSnapshot struct {
 	// NumCPU is the machine's logical CPU count, recorded so a snapshot
 	// taken with an inflated GOMAXPROCS on a starved quota (say 4 on a
 	// 1-CPU container) is honest about what actually ran concurrently.
-	NumCPU  int           `json:"numcpu,omitempty"`
-	Shards  int           `json:"shards,omitempty"`
-	Engine  string        `json:"engine,omitempty"`
-	Results []benchResult `json:"results"`
+	NumCPU int    `json:"numcpu,omitempty"`
+	Shards int    `json:"shards,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	// SlackFloors records, for parallel snapshots, the per-link observed
+	// lookahead-slack floors (ns) of a short profiled HAL/NAT run — the
+	// executor's ObservedSlack, keyed "src->dst". Deterministic per shard
+	// count, so a drift between snapshots means the partition or the
+	// topology declaration changed; -baseline prints the deltas but never
+	// gates on them.
+	SlackFloors map[string]int64 `json:"slack_floors,omitempty"`
+	Results     []benchResult    `json:"results"`
 }
 
 // engineLabel names the engine a shard count selects.
@@ -71,7 +80,7 @@ const regressionLimit = 0.25
 // jitter. quick shrinks simulated durations so a CI run finishes in
 // seconds. With a baseline snapshot the run also prints per-benchmark
 // deltas and fails on a regression beyond regressionLimit.
-func runBenchSuite(opt experiments.Options, quick bool, repeat int, outPath, baselinePath string) error {
+func runBenchSuite(opt experiments.Options, quick bool, repeat int, prof bool, outPath, baselinePath string) error {
 	if repeat < 1 {
 		repeat = 1
 	}
@@ -173,6 +182,25 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, outPath, bas
 			best.Name, best.Iterations, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp, repeat)
 	}
 
+	// Parallel snapshots also carry the observed slack floors of a short
+	// profiled HAL/NAT run (satellite of the flight recorder): a drift in
+	// these deterministic floors between commits means the LP partition or
+	// topology declaration changed, which wall-clock rows can't show.
+	if opt.Shards > 1 {
+		floors, err := harvestSlackFloors(opt, runDur)
+		if err != nil {
+			return fmt.Errorf("bench: slack floors: %w", err)
+		}
+		snap.SlackFloors = floors
+	} else if prof {
+		fmt.Println("prof: no recording — the flight recorder needs the parallel engine, use -shards > 1")
+	}
+	if prof && opt.Shards > 1 {
+		if err := printBenchProf(opt, runDur); err != nil {
+			return fmt.Errorf("bench: prof: %w", err)
+		}
+	}
+
 	if outPath == "" {
 		outPath = fmt.Sprintf("BENCH_%s.json", time.Now().UTC().Format("20060102T150405Z"))
 	}
@@ -188,6 +216,106 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, outPath, bas
 
 	if baselinePath != "" {
 		return compareBaseline(snap, baselinePath)
+	}
+	return nil
+}
+
+// profiledRun executes one flight-recorded run at the snapshot's shard
+// count and returns the result (Result.Prof carries the recorder).
+func profiledRun(cfg server.Config, rc server.RunConfig) (server.Result, time.Duration, error) {
+	cfg.Telemetry.Prof = true
+	start := time.Now()
+	res, err := server.Run(cfg, rc)
+	return res, time.Since(start), err
+}
+
+// harvestSlackFloors runs the HAL/NAT sentinel briefly with the recorder on
+// and returns the observed per-link slack floors, keyed "src->dst" in ns.
+func harvestSlackFloors(opt experiments.Options, runDur sim.Time) (map[string]int64, error) {
+	res, _, err := profiledRun(
+		server.Config{Mode: server.HAL, Fn: nf.NAT, Seed: opt.Seed, Shards: opt.Shards},
+		server.RunConfig{Duration: runDur, RateGbps: 80})
+	if err != nil {
+		return nil, err
+	}
+	if res.Prof == nil {
+		return nil, nil // fell back to serial: nothing to record
+	}
+	floors := make(map[string]int64)
+	for _, ls := range res.Prof.Links() {
+		if ls.Floor >= 0 {
+			floors[ls.SrcName+"->"+ls.DstName] = int64(ls.Floor)
+		}
+	}
+	return floors, nil
+}
+
+// printBenchProf runs the flight recorder over the bench sentinels — the
+// HAL/NAT 80G constant-rate sentinel and a Table V representative (HAL
+// running Count over the hadoop trace) — and prints each run's stall
+// attribution, slack utilization, and wall-clock split.
+func printBenchProf(opt experiments.Options, runDur sim.Time) error {
+	type sentinel struct {
+		name string
+		cfg  server.Config
+		rc   server.RunConfig
+	}
+	sentinels := []sentinel{{
+		name: "HAL/NAT/80G",
+		cfg:  server.Config{Mode: server.HAL, Fn: nf.NAT, Seed: opt.Seed, Shards: opt.Shards},
+		rc:   server.RunConfig{Duration: runDur, RateGbps: 80},
+	}}
+	if w, err := trace.ParseWorkload("hadoop"); err == nil {
+		sentinels = append(sentinels, sentinel{
+			name: "HAL/hadoop/Count",
+			cfg:  server.Config{Mode: server.HAL, Fn: nf.Count, Seed: opt.Seed, Shards: opt.Shards},
+			rc:   server.RunConfig{Duration: 2 * runDur, Workload: &w},
+		})
+	}
+	for _, s := range sentinels {
+		res, wall, err := profiledRun(s.cfg, s.rc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		rec := res.Prof
+		if rec == nil {
+			fmt.Printf("prof %s: no recording (engine=%s)\n", s.name, res.Engine)
+			continue
+		}
+		var windows, parks, batches, msgs uint64
+		for i := 0; i < rec.NumLanes(); i++ {
+			l := rec.LaneAt(i)
+			windows += l.WindowCount
+			parks += l.Parks
+			batches += l.Injects
+			msgs += l.InjectedMsgs
+		}
+		fmt.Printf("prof %s: %d rounds, %d windows, %d parks, %d batches/%d msgs\n",
+			s.name, rec.Rounds, windows, parks, batches, msgs)
+		for i, e := range rec.TopStallEdges() {
+			if i >= 3 {
+				break
+			}
+			fmt.Printf("  stall edge %d: %s->%s  %d windows (%.1f%% of paced)\n",
+				i+1, e.SrcName, e.DstName, e.Windows, e.Share*100)
+		}
+		for _, ls := range rec.Links() {
+			if u := ls.Utilization(); u > 0 {
+				fmt.Printf("  slack %s->%s: declared %v of %v observed floor (%.0f%% utilized)\n",
+					ls.SrcName, ls.DstName, ls.Declared, ls.Floor, u*100)
+			}
+		}
+		if wall > 0 {
+			fmt.Printf("  wall: %.1f%% barriers, %.1f%% planning, latch wait %v of %v (nondeterministic)\n",
+				float64(rec.BarrierWallNS)/float64(wall.Nanoseconds())*100,
+				float64(rec.PlanWallNS)/float64(wall.Nanoseconds())*100,
+				time.Duration(rec.LatchWaitTotalNS()).Round(time.Microsecond),
+				wall.Round(time.Millisecond))
+		}
+		for _, wl := range rec.Wheels() {
+			fmt.Printf("  wheel %s: %d cascades, %d overflow, slab high water %d\n",
+				wl.Name, wl.Stats.Cascades, wl.Stats.Overflow, wl.Stats.SlabHighWater)
+		}
 	}
 	return nil
 }
@@ -274,6 +402,38 @@ func compareBaseline(cur benchSnapshot, baselinePath string) error {
 			}
 		}
 		fmt.Printf("%-18s %14.0f ns/op  %+7.1f%%%s%s\n", r.Name, r.NsPerOp, delta*100, allocNote, mark)
+	}
+	// Slack-floor drift is informational, never gating: the floors are
+	// deterministic per shard count, so a delta flags a partition or
+	// topology change worth knowing about, not a performance regression.
+	if len(cur.SlackFloors) > 0 || len(base.SlackFloors) > 0 {
+		keys := make(map[string]bool)
+		for k := range cur.SlackFloors {
+			keys[k] = true
+		}
+		for k := range base.SlackFloors {
+			keys[k] = true
+		}
+		links := make([]string, 0, len(keys))
+		for k := range keys {
+			links = append(links, k)
+		}
+		sort.Strings(links)
+		fmt.Println("slack floors (ns, informational):")
+		for _, k := range links {
+			c, cok := cur.SlackFloors[k]
+			b, bok := base.SlackFloors[k]
+			switch {
+			case cok && bok && c == b:
+				fmt.Printf("  %-12s %8d (unchanged)\n", k, c)
+			case cok && bok:
+				fmt.Printf("  %-12s %8d -> %d  <-- floor drift\n", k, b, c)
+			case cok:
+				fmt.Printf("  %-12s %8d (no baseline entry)\n", k, c)
+			default:
+				fmt.Printf("  %-12s %8d (gone from this run)\n", k, b)
+			}
+		}
 	}
 	if len(regressed) > 0 {
 		return fmt.Errorf("benchmark regression over %s: %s",

@@ -63,6 +63,7 @@ func main() {
 	benchOut := flag.String("benchout", "", "bench: JSON snapshot path (default BENCH_<timestamp>.json)")
 	baseline := flag.String("baseline", "", "bench: compare against this BENCH_*.json snapshot; exit nonzero on a >25% ns/op regression")
 	benchN := flag.Int("benchN", 3, "bench: measure each benchmark this many times and keep the fastest run")
+	prof := flag.Bool("prof", false, "bench: print the parallel engine's flight-recorder summary for the sentinels (needs -shards > 1)")
 	showVersion := flag.Bool("version", false, "print the build commit and exit")
 	flag.Parse()
 	if *showVersion {
@@ -71,10 +72,10 @@ func main() {
 	}
 	emitCSV = *csv
 	// run returns instead of calling os.Exit so the profile defers flush.
-	os.Exit(run(*quick, *seed, *shards, *benchN, *cpuprofile, *memprofile, *benchOut, *baseline, flag.Args()))
+	os.Exit(run(*quick, *seed, *shards, *benchN, *prof, *cpuprofile, *memprofile, *benchOut, *baseline, flag.Args()))
 }
 
-func run(quick bool, seed int64, shards, benchN int, cpuprofile, memprofile, benchOut, baseline string, names []string) int {
+func run(quick bool, seed int64, shards, benchN int, prof bool, cpuprofile, memprofile, benchOut, baseline string, names []string) int {
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -244,7 +245,7 @@ func run(quick bool, seed int64, shards, benchN int, cpuprofile, memprofile, ben
 		},
 	}
 	runners["bench"] = func(o experiments.Options) error {
-		return runBenchSuite(o, quick, benchN, benchOut, baseline)
+		return runBenchSuite(o, quick, benchN, prof, benchOut, baseline)
 	}
 	order := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig5", "fig8", "fig9", "tab5", "fig10", "costs", "ablation", "faults", "validate"}
 

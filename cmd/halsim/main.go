@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"strings"
 	"time"
@@ -59,6 +58,7 @@ func main() {
 		duration = flag.Duration("duration", 300*time.Millisecond, "simulated duration")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		shards   = flag.Int("shards", 0, "run on the conservative-parallel engine with this many shards (0/1 = serial; results are byte-identical)")
+		profFlag = flag.Bool("prof", false, "record the parallel engine's flight recorder (needs -shards > 1): window spans, stall attribution, lookahead-slack series")
 		useCXL   = flag.Bool("cxl", false, "attach the SNIC over CXL (coherent shared state)")
 		slbCores = flag.Int("slb-cores", 4, "SLB forwarding cores (slb mode)")
 		slbTh    = flag.Float64("slb-th", 20, "SLB FwdTh in Gbps (slb mode)")
@@ -119,6 +119,7 @@ func main() {
 			timelineJSON: *timelineJSON,
 			traceOut:     *traceOut,
 			metricsOut:   *metricsOut,
+			prof:         *profFlag,
 		})
 		return
 	}
@@ -160,6 +161,7 @@ func main() {
 
 	// Observability: any telemetry output flag opts the run into the
 	// corresponding collector; with none of them the layer stays off.
+	cfg.Telemetry.Prof = *profFlag
 	if *timelineCSV != "" || *timelineJSON != "" {
 		cfg.Telemetry.Timeline = true
 		cfg.Telemetry.TimelinePeriod = sim.Duration(*timelinePer)
@@ -180,14 +182,13 @@ func main() {
 			cfg.Telemetry.Timeline = true // drives the per-tick sampler
 		}
 	}
+	var stopTelemetry func()
 	if *telAddr != "" {
-		srv := &http.Server{Addr: *telAddr, Handler: cfg.Telemetry.Registry.Handler()}
-		go func() {
-			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "halsim: -telemetry-addr: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(os.Stderr, "halsim: serving metrics on http://%s/metrics\n", *telAddr)
+		var err error
+		stopTelemetry, err = serveTelemetry(*telAddr, cfg.Telemetry.Registry)
+		if err != nil {
+			fail("-telemetry-addr: %v", err)
+		}
 	}
 
 	rc := server.RunConfig{Duration: sim.Duration(*duration), RateGbps: *rate}
@@ -281,8 +282,56 @@ func main() {
 			res.SentAll, res.CompletedAll, res.DroppedAll, res.InFlightEnd)
 	}
 	fmt.Printf("  [%d packets simulated in %v]\n", res.Sent, time.Since(start).Round(time.Millisecond))
+	if *profFlag {
+		printProfSummary(res, time.Since(start))
+	}
 
 	writeArtifacts(res, *timelineCSV, *timelineJSON, *traceOut, *metricsOut)
+	if stopTelemetry != nil {
+		stopTelemetry()
+	}
+}
+
+// printProfSummary prints the flight recorder's console digest: stall
+// attribution, slack utilization, and the wall-clock split (the one place
+// the nondeterministic wall numbers surface).
+func printProfSummary(res server.Result, wall time.Duration) {
+	rec := res.Prof
+	if rec == nil {
+		fmt.Printf("  prof        no recording (engine=%s; -prof needs the parallel engine, use -shards > 1)\n", res.Engine)
+		return
+	}
+	fmt.Printf("  prof        %d rounds", rec.Rounds)
+	if e, ok := rec.BindingLink(); ok {
+		fmt.Printf(", binding link %s->%s (%d windows, %.1f%% of paced)", e.SrcName, e.DstName, e.Windows, e.Share*100)
+	}
+	fmt.Println()
+	for i := 0; i < rec.NumLanes(); i++ {
+		l := rec.LaneAt(i)
+		fmt.Printf("    lp %-5s %d windows (%.1f%% paced), %d parks, %d batches/%d msgs (max %d)\n",
+			l.Name(), l.WindowCount, rec.PacedShare(i)*100, l.Parks, l.Injects, l.InjectedMsgs, l.MaxBatch)
+	}
+	for _, ls := range rec.Links() {
+		util, decl := "-", "unconstrained"
+		if u := ls.Utilization(); u > 0 {
+			util = fmt.Sprintf("%.0f%%", u*100)
+		}
+		if ls.Declared >= 0 {
+			decl = ls.Declared.String()
+		}
+		fmt.Printf("    link %s->%s declared %s, observed floor %v, %d tightenings, utilization %s\n",
+			ls.SrcName, ls.DstName, decl, ls.Floor, len(ls.Points), util)
+	}
+	if wall > 0 {
+		barrier := float64(rec.BarrierWallNS) / float64(wall.Nanoseconds()) * 100
+		plan := float64(rec.PlanWallNS) / float64(wall.Nanoseconds()) * 100
+		fmt.Printf("    wall: %.1f%% barriers, %.1f%% planning, latch wait %v (nondeterministic)\n",
+			barrier, plan, time.Duration(rec.LatchWaitTotalNS()).Round(time.Microsecond))
+	}
+	for _, wl := range rec.Wheels() {
+		fmt.Printf("    wheel %-5s %d cascades, %d overflow, slab high water %d\n",
+			wl.Name, wl.Stats.Cascades, wl.Stats.Overflow, wl.Stats.SlabHighWater)
+	}
 }
 
 // writeArtifacts exports the run's telemetry artifacts to the requested
@@ -313,7 +362,15 @@ func writeArtifacts(res server.Result, csvPath, jsonPath, tracePath, metricsPath
 		write(jsonPath, "timeline-json", res.Timeline.WriteJSON)
 	}
 	if res.Trace != nil {
-		write(tracePath, "trace-out", res.Trace.WriteTrace)
+		if res.Prof != nil {
+			// A profiled run exports the combined document: packet spans with
+			// LP attribution plus the recorder's per-LP window lanes.
+			write(tracePath, "trace-out", func(w io.Writer) error {
+				return telemetry.WriteProfTrace(w, res.Trace, res.Prof)
+			})
+		} else {
+			write(tracePath, "trace-out", res.Trace.WriteTrace)
+		}
 	}
 	if res.Metrics != nil {
 		write(metricsPath, "metrics-out", res.Metrics.WriteText)

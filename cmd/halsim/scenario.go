@@ -37,6 +37,7 @@ func parseInterleaved(fs *flag.FlagSet, args []string) []string {
 // flag-based path.
 type artifactPaths struct {
 	timelineCSV, timelineJSON, traceOut, metricsOut string
+	prof                                            bool
 }
 
 func runCmd(args []string) {
@@ -56,6 +57,7 @@ func runCmd(args []string) {
 	fs.StringVar(&arts.timelineJSON, "timeline-json", "", "write the time series (plus latency buckets) as JSON")
 	fs.StringVar(&arts.traceOut, "trace-out", "", "write a sampled packet-lifecycle trace (Chrome trace-event JSON)")
 	fs.StringVar(&arts.metricsOut, "metrics-out", "", "write the final counter registry in Prometheus text format ('-' for stdout)")
+	fs.BoolVar(&arts.prof, "prof", false, "record the parallel engine's flight recorder (needs shards > 1); adds the report's Parallel profile section")
 	files := parseInterleaved(fs, args)
 	if len(files) != 1 {
 		fmt.Fprintf(os.Stderr, "halsim run: want exactly one scenario file, have %d\n\n", len(files))
@@ -117,6 +119,9 @@ func executeScenario(path string, ov scenario.Overrides, reportMD, reportHTML st
 	if arts.traceOut != "" && s.Run.Telemetry.TraceEvery == 0 {
 		s.Run.Telemetry.TraceEvery = 64
 	}
+	if arts.prof {
+		s.Run.Telemetry.Prof = true
+	}
 
 	start := time.Now()
 	o, err := s.Execute(ov)
@@ -146,6 +151,9 @@ func executeScenario(path string, ov scenario.Overrides, reportMD, reportHTML st
 		fmt.Println(line + ")")
 	}
 	fmt.Printf("  [%d packets simulated in %v]\n", res.Sent, time.Since(start).Round(time.Millisecond))
+	if arts.prof {
+		printProfSummary(res, time.Since(start))
+	}
 
 	writeReport := func(path, what string, fn func(w *os.File) error) {
 		if path == "" {

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"halsim/internal/telemetry"
+	"halsim/internal/version"
+)
+
+// The -telemetry-addr endpoint: live Prometheus exposition during a run,
+// plus the two probes a scraper's service discovery wants — /healthz for
+// liveness and /buildinfo for what build is serving. The listener binds
+// before the run starts (a bad address fails fast instead of racing the
+// run) and shuts down cleanly after the final registry flush, so nothing
+// keeps the process alive and the last scrape can still see end-of-run
+// totals.
+
+// telemetryMux routes the exposition endpoints over one registry.
+func telemetryMux(reg *telemetry.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	mux.Handle("/", reg)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{
+			"program": "halsim",
+			"version": version.String(),
+		})
+	})
+	return mux
+}
+
+// serveTelemetry starts the exposition server on addr and returns a
+// shutdown function the caller runs once the run's artifacts are written.
+func serveTelemetry(addr string, reg *telemetry.Registry) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: telemetryMux(reg)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "halsim: -telemetry-addr: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "halsim: serving metrics on http://%s/metrics\n", ln.Addr())
+	return func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close()
+		}
+		<-done
+	}, nil
+}

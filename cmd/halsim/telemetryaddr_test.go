@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"halsim/internal/telemetry"
+)
+
+func TestTelemetryMuxEndpoints(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Set(reg.Gauge("halsim_test_up", "test gauge"), 1)
+	srv := httptest.NewServer(telemetryMux(reg))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	if code, body, _ := get("/healthz"); code != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	code, body, ctype := get("/buildinfo")
+	if code != http.StatusOK || !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/buildinfo: %d content-type %q", code, ctype)
+	}
+	var info map[string]string
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("/buildinfo not JSON: %v\n%s", err, body)
+	}
+	if info["program"] != "halsim" || info["version"] == "" {
+		t.Fatalf("/buildinfo payload wrong: %v", info)
+	}
+
+	for _, path := range []string{"/metrics", "/"} {
+		if code, body, _ := get(path); code != http.StatusOK ||
+			!strings.Contains(body, "halsim_test_up 1") {
+			t.Fatalf("%s: %d missing registry exposition:\n%s", path, code, body)
+		}
+	}
+}
+
+func TestServeTelemetryLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	reg.Set(reg.Gauge("halsim_test_live", "test gauge"), 7)
+
+	// A bad address fails fast, before any run starts.
+	if _, err := serveTelemetry("256.0.0.1:0", reg); err == nil {
+		t.Fatal("bad listen address must error")
+	}
+
+	stop, err := serveTelemetry("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The announce line carries the resolved port; probe via the registry
+	// handler path instead of parsing stderr: bind a second client to the
+	// same mux through a test server is pointless — just shut down and make
+	// sure the closure returns (listener freed, goroutine joined).
+	stop()
+}

@@ -155,6 +155,29 @@ func TestGoldenDeterminismParallel(t *testing.T) {
 	}
 }
 
+// TestGoldenDeterminismProfiled turns the flight recorder on across the
+// whole battery — serial (where it stays dormant) and sharded — and compares
+// against the SAME fixture: the recorder is an observer of the parallel
+// engine's scheduling decisions, never a participant. Windows, slack series,
+// and inject counters are recorded on paths the engine already takes; any
+// divergence here means the recorder perturbed run-ahead planning.
+func TestGoldenDeterminismProfiled(t *testing.T) {
+	if *updateGolden {
+		t.Skip("fixture is written by TestGoldenDeterminism")
+	}
+	path := filepath.Join("testdata", "golden_runs.txt")
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden fixture (run with -update to create): %v", err)
+	}
+	for _, shards := range []int{0, 4} {
+		got := goldenRuns(t, halsim.TelemetryConfig{Timeline: true, TraceEvery: 64, Prof: true}, shards)
+		if got != string(want) {
+			t.Fatalf("flight recorder perturbed the simulation at shards=%d: output diverged from %s\n--- got ---\n%s\n--- want ---\n%s", shards, path, got, want)
+		}
+	}
+}
+
 // TestGoldenDeterminismParallelTelemetryOn stacks both invariants: sharded
 // execution with every collector enabled must still reproduce the serial,
 // telemetry-off fixture byte-for-byte (per-LP tracers merge by order key;

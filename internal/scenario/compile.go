@@ -155,6 +155,7 @@ func (s *Scenario) Compile(ov Overrides) (*Compiled, error) {
 	c.Cfg.Telemetry.Timeline = r.Telemetry.Timeline
 	c.Cfg.Telemetry.TimelinePeriod = r.Telemetry.TimelinePeriod
 	c.Cfg.Telemetry.TraceEvery = r.Telemetry.TraceEvery
+	c.Cfg.Telemetry.Prof = r.Telemetry.Prof
 	for _, a := range s.Assertions {
 		if a.WindowTo > 0 {
 			c.Cfg.Telemetry.Timeline = true

@@ -85,11 +85,15 @@ type RunSpec struct {
 	Telemetry TelemetrySpec
 }
 
-// TelemetrySpec opts the run into the observability layer.
+// TelemetrySpec opts the run into the observability layer. Prof opts a
+// sharded run into the parallel flight recorder; the report then carries a
+// "Parallel profile" section (deterministic per shard count, so it is
+// excluded from the cross-engine report-identity contract).
 type TelemetrySpec struct {
 	Timeline       bool
 	TimelinePeriod sim.Time
 	TraceEvery     int
+	Prof           bool
 }
 
 // EventSpec is one timed fault window of the scenario.
@@ -367,7 +371,7 @@ func (s *Scenario) parseRun(n *yaml.Node) error {
 		}
 	}
 	if v := n.Get("telemetry"); v != nil {
-		if err := checkKeys(v, "run.telemetry", "timeline", "timeline_period", "trace_every"); err != nil {
+		if err := checkKeys(v, "run.telemetry", "timeline", "timeline_period", "trace_every", "prof"); err != nil {
 			return err
 		}
 		if t := v.Get("timeline"); t != nil {
@@ -386,6 +390,11 @@ func (s *Scenario) parseRun(n *yaml.Node) error {
 				return errf("run.telemetry.trace_every: %v", err)
 			}
 			r.Telemetry.TraceEvery = int(e)
+		}
+		if t := v.Get("prof"); t != nil {
+			if r.Telemetry.Prof, err = t.Bool(); err != nil {
+				return errf("run.telemetry.prof: %v", err)
+			}
 		}
 	}
 	return nil

@@ -48,6 +48,10 @@ const (
 	shardCtrl = par.CtrlDst
 )
 
+// shardLaneNames names the worker shards, indexed by shard index — the lane
+// names the flight recorder and merged traces report.
+var shardLaneNames = []string{"net", "snic", "host"}
+
 // Engine ranks: the tie-break order for events scheduled by different
 // engines at the same instant with the same schedule time. Serial runs
 // break those ties by global registration order, and the serial code

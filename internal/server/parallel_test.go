@@ -24,7 +24,10 @@ func resultFields(res Result) string {
 	var b strings.Builder
 	for i := 0; i < tp.NumField(); i++ {
 		switch tp.Field(i).Name {
-		case "Timeline", "Trace", "Metrics", "Engine":
+		case "Timeline", "Trace", "Metrics", "Engine", "Prof":
+			// Prof is engine-variant by design: it records the parallel
+			// engine itself, so a serial run has none and its contents are
+			// per-shard-count. TestProfNonPerturbation covers its contract.
 			continue
 		}
 		fmt.Fprintf(&b, "%s=%v\n", tp.Field(i).Name, v.Field(i).Interface())

@@ -27,6 +27,7 @@ import (
 	"halsim/internal/sim"
 	"halsim/internal/stats"
 	"halsim/internal/telemetry"
+	"halsim/internal/telemetry/prof"
 	"halsim/internal/trace"
 
 	// Link in every benchmark function implementation so nf.New works
@@ -253,6 +254,16 @@ type Result struct {
 	Timeline *telemetry.Timeline
 	Trace    *telemetry.Tracer
 	Metrics  *telemetry.Registry
+
+	// Prof is the parallel engine's flight recorder (Config.Telemetry.Prof
+	// on a run the parallel engine actually executed; nil otherwise —
+	// serial runs have no windows to record). Unlike the artifacts above it
+	// describes the engine, not the simulation, so its contents are
+	// per-shard-count: deterministic across repeats at the same Shards, but
+	// not part of the engine-invariance contract. Wall-clock fields
+	// (latch/plan/barrier nanoseconds) are the one nondeterministic part
+	// and never feed byte-compared artifacts.
+	Prof *prof.Recorder
 
 	// Engine reports which simulation engine executed the run: "serial",
 	// "parallel" (Config.Shards > 1 honored), or "serial (reason)" when a
@@ -491,6 +502,7 @@ type run struct {
 	// collector tracer, a parallel run merges them back into serial emission
 	// order at collect time.
 	col           *telemetry.Collector
+	rec           *prof.Recorder
 	tl            *telemetry.Timeline
 	trNet         *telemetry.Tracer
 	trSNIC        *telemetry.Tracer
@@ -1154,6 +1166,20 @@ func (r *run) collect() Result {
 	res.RateSeries = r.rateSeries
 	res.RateWindow = r.rc.RateWindow
 
+	if r.rec != nil {
+		// Finalize the flight recorder: per-link observed floors, one wheel
+		// snapshot per engine (recorder lane order, then ctrl — matching the
+		// "ctrl" pseudo-lane the slack matrix uses).
+		r.rec.SetObservedFloors(r.par.x.ObservedSlack())
+		r.rec.AddWheel("net", r.engNet.WheelStats())
+		r.rec.AddWheel("snic", r.engSNIC.WheelStats())
+		r.rec.AddWheel("host", r.engHost.WheelStats())
+		r.rec.AddWheel("ctrl", r.engCtrl.WheelStats())
+		res.Prof = r.rec
+		if r.col != nil {
+			publishProf(r.col.Registry, r.rec)
+		}
+	}
 	if r.col != nil {
 		res.Timeline = r.tl
 		res.Trace = r.trCtrl

@@ -2,6 +2,7 @@ package server
 
 import (
 	"halsim/internal/telemetry"
+	"halsim/internal/telemetry/prof"
 )
 
 // Telemetry integration. Every hook on the packet path is a nil-checked
@@ -81,6 +82,16 @@ func (m *telMetrics) publish(s telemetry.Sample, sent uint64) {
 // is lost to a part's bound) bound to its engine's order key, and collect
 // merges them back into serial order.
 func (r *run) buildTelemetry() {
+	// The flight recorder is independent of the collector bundle: Prof alone
+	// (no timeline, no tracer) still records. It only exists when the
+	// parallel engine actually runs — it measures the engine, not the
+	// simulation — and its hooks follow the same ownership discipline as the
+	// executor's own per-shard state, so recording is race-free and
+	// observer-only.
+	if r.cfg.Telemetry.Prof && r.par != nil {
+		r.rec = prof.NewRecorder(shardLaneNames)
+		r.par.x.SetRecorder(r.rec)
+	}
 	r.col = telemetry.New(r.cfg.Telemetry)
 	if r.col == nil {
 		return
@@ -99,6 +110,14 @@ func (r *run) buildTelemetry() {
 			r.trNet.BindOrder(r.engNet.OrderKey)
 			r.trSNIC.BindOrder(r.engSNIC.OrderKey)
 			r.trHost.BindOrder(r.engHost.OrderKey)
+			// Label each per-LP tracer so the merged trace can attribute
+			// every span — drop spans included — to the shard that emitted
+			// it. Export-time only: WriteTrace never reads the labels, so
+			// the default artifact bytes stay engine-invariant.
+			r.trCtrl.BindLane("ctrl")
+			r.trNet.BindLane(shardLaneNames[shardNet])
+			r.trSNIC.BindLane(shardLaneNames[shardSNIC])
+			r.trHost.BindLane(shardLaneNames[shardHost])
 		}
 		r.snic.first.tr, r.snic.first.telID = r.trSNIC, telemetry.StSNIC
 		r.host.first.tr, r.host.first.telID = r.trHost, telemetry.StHost
@@ -116,6 +135,37 @@ func (r *run) buildTelemetry() {
 			r.slbFwd.tr, r.slbFwd.telID = fwdTr, telemetry.StSLBFwd
 		}
 	}
+}
+
+// publishProf pushes the flight recorder's run-end totals into the metric
+// registry. Only deterministic simulation state goes in: the registry text
+// is a byte-compared artifact (-metrics-out), so the recorder's wall-clock
+// fields (latch/plan/barrier time) are quarantined to console summaries and
+// never published here.
+func publishProf(reg *telemetry.Registry, rec *prof.Recorder) {
+	var windows, parks, batches, msgs uint64
+	for i := 0; i < rec.NumLanes(); i++ {
+		l := rec.LaneAt(i)
+		windows += l.WindowCount
+		parks += l.Parks
+		batches += l.Injects
+		msgs += l.InjectedMsgs
+	}
+	set := func(id telemetry.MetricID, v float64) { reg.Set(id, v) }
+	set(reg.Counter("halsim_par_rounds_total", "conservative-parallel barrier rounds"), float64(rec.Rounds))
+	set(reg.Counter("halsim_par_windows_total", "executed run-ahead windows across shards"), float64(windows))
+	set(reg.Counter("halsim_par_parks_total", "idle-shard parks across shards"), float64(parks))
+	set(reg.Counter("halsim_par_inject_batches_total", "cross-LP InjectBatch calls across shards"), float64(batches))
+	set(reg.Counter("halsim_par_inject_msgs_total", "cross-LP messages injected across shards"), float64(msgs))
+	var cascades, overflow, slab uint64
+	for _, wl := range rec.Wheels() {
+		cascades += wl.Stats.Cascades
+		overflow += wl.Stats.Overflow
+		slab += uint64(wl.Stats.SlabHighWater)
+	}
+	set(reg.Counter("halsim_wheel_cascades_total", "timing-wheel level cascades across engines"), float64(cascades))
+	set(reg.Counter("halsim_wheel_overflow_total", "timing-wheel overflow-heap inserts across engines"), float64(overflow))
+	set(reg.Gauge("halsim_wheel_slab_high_water", "summed event-slab high water across engines"), float64(slab))
 }
 
 // sideBytesDone sums the cumulative served bytes of a side's stage-1

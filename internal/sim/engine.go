@@ -162,6 +162,26 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events waiting to fire.
 func (e *Engine) Pending() int { return e.q.pending() }
 
+// WheelStats is a snapshot of the timing wheel's slow-path counters:
+// combined cascades run, events that ever took the overflow heap, and the
+// slab high-water mark (peak simultaneously-filed events). Deterministic
+// for a given seed and engine partition — the wheel's behavior is a pure
+// function of the event population.
+type WheelStats struct {
+	Cascades      uint64
+	Overflow      uint64
+	SlabHighWater int
+}
+
+// WheelStats snapshots the engine's timing-wheel counters.
+func (e *Engine) WheelStats() WheelStats {
+	return WheelStats{
+		Cascades:      e.q.cascades,
+		Overflow:      e.q.overflowed,
+		SlabHighWater: len(e.q.slab),
+	}
+}
+
 // NextEventAt reports the earliest pending event time, if any.
 func (e *Engine) NextEventAt() (Time, bool) { return e.q.nextAt() }
 

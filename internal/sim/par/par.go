@@ -82,8 +82,10 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"halsim/internal/sim"
+	"halsim/internal/telemetry/prof"
 )
 
 // CtrlDst addresses the control engine as a message destination.
@@ -288,6 +290,12 @@ type Exec struct {
 	nextAt   []sim.Time
 	latch    *latch
 	poisoned atomic.Bool
+
+	// rec, when non-nil, is the attached flight recorder. Every hook site
+	// nil-checks it, so a run without one pays nothing. Lane i is written
+	// only by the goroutine owning shard i (or the coordinator while that
+	// shard is parked), the same ownership discipline as slackMin.
+	rec *prof.Recorder
 }
 
 // outboxKeepCap bounds the backing-array capacity an outbox or the control
@@ -343,6 +351,33 @@ func New(ctrl *sim.Engine, workers []*sim.Engine, topo Topology) *Exec {
 	x.inPlan = make([]bool, len(workers))
 	x.nextAt = make([]sim.Time, len(workers))
 	return x
+}
+
+// SetRecorder attaches a flight recorder (nil detaches). The recorder must
+// have one lane per worker; call before Start. The declared-lookahead
+// matrix is installed so the recorder can report slack utilization against
+// the observed floors (-1 marks an unconstrained pair).
+func (x *Exec) SetRecorder(r *prof.Recorder) {
+	x.rec = r
+	if r == nil {
+		return
+	}
+	if r.NumLanes() != len(x.shards) {
+		panic(fmt.Sprintf("par: recorder has %d lanes for %d shards", r.NumLanes(), len(x.shards)))
+	}
+	d := make([][]sim.Time, len(x.dist))
+	for i, row := range x.dist {
+		d[i] = make([]sim.Time, len(row)+1)
+		for j, v := range row {
+			if v == infTime {
+				d[i][j] = -1
+			} else {
+				d[i][j] = v
+			}
+		}
+		d[i][len(row)] = -1 // control destination: late-applied, unconstrained
+	}
+	r.SetDeclared(d)
 }
 
 // Start launches the shard goroutines. Each executes one run-ahead plan
@@ -405,6 +440,9 @@ func (x *Exec) Send(src, dst int, at sim.Time, seq uint64, call sim.Call, arg an
 	}
 	if at-sh.eng.Now() < sh.slackMin[slot] {
 		sh.slackMin[slot] = at - sh.eng.Now()
+		if x.rec != nil {
+			x.rec.RecordSlack(src, slot, sh.eng.Now(), at-sh.eng.Now())
+		}
 	}
 	sh.out[slot] = append(sh.out[slot], Msg{At: at, Seq: seq, Call: call, Arg: arg, N: n})
 }
@@ -557,12 +595,19 @@ func (x *Exec) round(end sim.Time) {
 			// from any LP that has them — advance the clock in place.
 			sh.eng.RunBefore(end)
 			x.inPlan[i] = false
+			if x.rec != nil {
+				x.rec.LaneAt(i).Park()
+			}
 		} else {
 			x.inPlan[i] = true
 			nparts++
 		}
 	}
 	if nparts > 0 {
+		var t0 time.Time
+		if x.rec != nil {
+			t0 = time.Now()
+		}
 		x.planEnd = end
 		x.latch.reset(nparts)
 		x.poisoned.Store(false)
@@ -582,13 +627,24 @@ func (x *Exec) round(end sim.Time) {
 		if panicked != nil {
 			panic(panicked)
 		}
+		if x.rec != nil {
+			x.rec.AddPlanWall(time.Since(t0).Nanoseconds())
+		}
 	}
 
+	var tb time.Time
+	if x.rec != nil {
+		tb = time.Now()
+	}
 	x.deliver()
 	x.lateCtrl(end)
 	x.ctrl.RunBefore(end)
 	x.mergedInstant(end)
 	x.deliver()
+	if x.rec != nil {
+		x.rec.AddBarrierWall(time.Since(tb).Nanoseconds())
+		x.rec.AddRound()
+	}
 	x.b = end
 }
 
@@ -614,42 +670,69 @@ func (x *Exec) runPlanGuarded(sh *shard) (recovered any) {
 func (x *Exec) runPlan(sh *shard) {
 	me := sh.idx
 	end := x.planEnd
+	var lane *prof.Lane
+	if x.rec != nil {
+		lane = x.rec.LaneAt(me)
+	}
 	for {
-		x.latch.arrive() // every previous-window run complete
+		x.arrive(lane) // every previous-window run complete
 		if x.poisoned.Load() {
 			return
 		}
-		x.injectInbound(sh)
+		x.injectInbound(sh, lane)
 		if at, ok := sh.eng.NextEventAt(); ok {
 			x.nextAt[me] = at
 		} else {
 			x.nextAt[me] = noEvent
 		}
-		x.latch.arrive() // every injection and horizon visible
+		x.arrive(lane) // every injection and horizon visible
 		if x.poisoned.Load() {
 			return
 		}
-		quiet, reachable, bound := x.planStep(me, end)
+		quiet, reachable, bound, binder := x.planStep(me, end)
 		if quiet {
+			if lane != nil {
+				lane.Window(sh.eng.Now(), end, prof.BindEnd)
+			}
 			sh.eng.RunBefore(end)
 			return
 		}
 		if !reachable && x.nextAt[me] >= end {
 			// Nothing local before end and no active LP can reach this
 			// one: park and hand the latch back for good.
+			if lane != nil {
+				lane.Park()
+			}
 			sh.eng.RunBefore(end)
 			x.latch.leave()
 			return
+		}
+		if lane != nil {
+			lane.Window(sh.eng.Now(), bound, binder)
 		}
 		sh.eng.RunBefore(bound)
 	}
 }
 
+// arrive is latch.arrive with optional wall-clock latch-wait accounting.
+func (x *Exec) arrive(lane *prof.Lane) {
+	if lane == nil {
+		x.latch.arrive()
+		return
+	}
+	t0 := time.Now()
+	x.latch.arrive()
+	lane.AddLatchWait(time.Since(t0).Nanoseconds())
+}
+
 // planStep evaluates the shared horizon array for shard me: whether the
 // whole plan has quiesced, whether any LP that still has work can reach me
-// over declared links, and my next window bound. Every participant reads
-// the same latch-ordered array, so the quiesce/leave verdicts agree.
-func (x *Exec) planStep(me int, end sim.Time) (quiet, reachable bool, bound sim.Time) {
+// over declared links, my next window bound, and the binder — the peer
+// whose horizon produced that bound (prof.BindSelf for the self-echo term,
+// prof.BindEnd when the round end itself bounds the window). Every
+// participant reads the same latch-ordered array, so the quiesce/leave
+// verdicts agree.
+func (x *Exec) planStep(me int, end sim.Time) (quiet, reachable bool, bound sim.Time, binder int) {
 	quiet = true
 	var active uint64
 	for s := range x.shards {
@@ -659,7 +742,7 @@ func (x *Exec) planStep(me int, end sim.Time) (quiet, reachable bool, bound sim.
 		}
 	}
 	if quiet {
-		return true, false, end
+		return true, false, end, prof.BindEnd
 	}
 	// Window bound: a message from src is sent at or after src's horizon
 	// and arrives at least dist(src→me) later; quiet sources bound nothing
@@ -667,20 +750,20 @@ func (x *Exec) planStep(me int, end sim.Time) (quiet, reachable bool, bound sim.
 	// triangle inequality of the all-pairs closure; a chain seeded by MY
 	// OWN next event can echo back no earlier than one full round trip,
 	// hence the self term over cycle[me].
-	bound = end
+	bound, binder = end, prof.BindEnd
 	for s := range x.shards {
 		if s == me || x.nextAt[s] >= end {
 			continue
 		}
 		if d := x.dist[s][me]; d != infTime {
 			if b := x.nextAt[s] + d; b < bound {
-				bound = b
+				bound, binder = b, s
 			}
 		}
 	}
 	if x.nextAt[me] < end && x.cycle[me] != infTime {
 		if b := x.nextAt[me] + x.cycle[me]; b < bound {
-			bound = b
+			bound, binder = b, prof.BindSelf
 		}
 	}
 	// Reachability of me from the active set (for the early-leave check).
@@ -698,13 +781,13 @@ func (x *Exec) planStep(me int, end sim.Time) (quiet, reachable bool, bound sim.
 			}
 		}
 	}
-	return false, active&(1<<me) != 0, bound
+	return false, active&(1<<me) != 0, bound, binder
 }
 
 // injectInbound drains every peer outbox destined to shard me into my own
 // wheel — one InjectBatch per non-empty source — and caps the retained
 // backing capacity so bursty windows do not pin slabs for the whole run.
-func (x *Exec) injectInbound(sh *shard) {
+func (x *Exec) injectInbound(sh *shard, lane *prof.Lane) {
 	me := sh.idx
 	for _, src := range x.shards {
 		if src == sh {
@@ -715,6 +798,9 @@ func (x *Exec) injectInbound(sh *shard) {
 			continue
 		}
 		sh.eng.InjectBatch(msgs)
+		if lane != nil {
+			lane.Inject(len(msgs))
+		}
 		if cap(msgs) > outboxKeepCap {
 			src.out[me] = nil
 		} else {

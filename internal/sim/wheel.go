@@ -133,6 +133,12 @@ type timerWheel struct {
 	headSlot     int32
 
 	scratch []int32 // cascade batch buffer, reused across cascades
+
+	// Slow-path self-accounting (Engine.WheelStats): combined cascades run
+	// and events that ever landed in the overflow heap. Incremented only on
+	// the slow paths they count, so the hot path is untouched.
+	cascades   uint64
+	overflowed uint64
 }
 
 func (w *timerWheel) init() {
@@ -236,7 +242,10 @@ func (w *timerWheel) insertSlot(at Time, seq uint64) *event {
 }
 
 // insertOverflow queues a beyond-horizon event (insertSlot returned nil).
-func (w *timerWheel) insertOverflow(ev event) { w.overflow.push(ev) }
+func (w *timerWheel) insertOverflow(ev event) {
+	w.overflowed++
+	w.overflow.push(ev)
+}
 
 // insertSlotOrdered files a slab cell for a foreign event whose seq key was
 // drawn by another engine, splicing it into the slot list at its ascending-
@@ -470,6 +479,7 @@ func (w *timerWheel) findHeadSlow() bool {
 // residence-level invariant) — advances the window, and re-files the events
 // at lower levels in reverse with per-node prepends.
 func (w *timerWheel) cascade(candSlot *[wheelLevels]int, candAt *[wheelLevels]Time, slotStart Time) {
+	w.cascades++
 	if slotStart > w.wt {
 		// No pending event precedes slotStart (it was the minimum), so
 		// advancing the cursor preserves the wt invariant and gives

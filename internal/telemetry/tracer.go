@@ -115,6 +115,16 @@ type Tracer struct {
 	// per-LP tracers of a parallel run. Serial runs leave tracers unbound.
 	order func() (sim.Time, uint64)
 	keys  []orderKey
+	// lane is the LP identity of this tracer's spans (BindLane); parallel
+	// runs label each per-LP tracer so a merged trace can attribute every
+	// span — drop spans included — to the shard that emitted it. Serial
+	// tracers stay unlabeled. The default WriteTrace output never includes
+	// it (artifact bytes are engine-invariant); WriteProfTrace does.
+	lane string
+	// origins, on a tracer built by MergeTracers, records which part each
+	// retained span came from; originLanes maps part index to lane label.
+	origins     []uint8
+	originLanes []string
 	// Truncated counts events discarded after the cap was reached.
 	Truncated uint64
 }
@@ -149,6 +159,23 @@ func (t *Tracer) Capacity() int { return t.capacity }
 // serial runs leave tracers unbound at zero cost.
 func (t *Tracer) BindOrder(fn func() (sim.Time, uint64)) { t.order = fn }
 
+// BindLane labels every span of this tracer with an LP lane name for
+// merged-trace attribution (see OriginLane). Zero cost: the label is only
+// consulted at export time.
+func (t *Tracer) BindLane(name string) { t.lane = name }
+
+// OriginLane returns the LP lane label of retained span i: on a tracer
+// built by MergeTracers it is the label of the part that emitted the span
+// (drop spans included — every retained span carries an origin); otherwise
+// it is the tracer's own BindLane label. "" means no LP identity (serial
+// runs).
+func (t *Tracer) OriginLane(i int) string {
+	if i >= 0 && i < len(t.origins) {
+		return t.originLanes[t.origins[i]]
+	}
+	return t.lane
+}
+
 // Sampled reports whether packet id is in the deterministic sample. Safe on
 // a nil tracer (hook sites combine the nil check and the sample check).
 func (t *Tracer) Sampled(id uint64) bool {
@@ -179,6 +206,10 @@ func MergeTracers(capacity int, parts ...*Tracer) *Tracer {
 	if len(parts) > 0 {
 		merged.every = parts[0].every
 	}
+	merged.originLanes = make([]string, len(parts))
+	for i, p := range parts {
+		merged.originLanes[i] = p.lane
+	}
 	var attempted uint64
 	for _, p := range parts {
 		attempted += uint64(len(p.events)) + p.Truncated
@@ -202,6 +233,7 @@ func MergeTracers(capacity int, parts ...*Tracer) *Tracer {
 		}
 		if len(merged.events) < capacity {
 			merged.events = append(merged.events, parts[best].events[idx[best]])
+			merged.origins = append(merged.origins, uint8(best))
 		}
 		idx[best]++
 	}
@@ -219,15 +251,18 @@ func (t *Tracer) At(i int) Span { return t.events[i] }
 // array (the JSON shape Perfetto and chrome://tracing load). Timestamps and
 // durations are microseconds; we emit fractional µs to keep ns precision.
 type chromeEvent struct {
-	Name string     `json:"name"`
-	Cat  string     `json:"cat"`
-	Ph   string     `json:"ph"`
-	Ts   float64    `json:"ts"`
-	Dur  *float64   `json:"dur,omitempty"`
-	Pid  int        `json:"pid"`
-	Tid  int        `json:"tid"`
-	S    string     `json:"s,omitempty"` // instant-event scope
-	Args chromeArgs `json:"args"`
+	Name string   `json:"name"`
+	Cat  string   `json:"cat"`
+	Ph   string   `json:"ph"`
+	Ts   float64  `json:"ts"`
+	Dur  *float64 `json:"dur,omitempty"`
+	Pid  int      `json:"pid"`
+	Tid  int      `json:"tid"`
+	S    string   `json:"s,omitempty"` // instant-event scope
+	// Args is chromeArgs for packet spans; WriteProfTrace's recorder lanes
+	// carry their own payload types (the marshaled bytes of packet spans
+	// are unchanged by the loose typing).
+	Args any `json:"args"`
 }
 
 // chromeArgs is the per-event payload. Pointer fields keep absent values
@@ -258,11 +293,11 @@ func (s Span) chrome() chromeEvent {
 		Ts:   us(s.T),
 		Pid:  1,
 		Tid:  int(s.Station),
-		Args: chromeArgs{Pkt: s.Pkt},
 	}
+	args := chromeArgs{Pkt: s.Pkt}
 	if s.Core >= 0 {
 		core := s.Core
-		ev.Args.Core = &core
+		args.Core = &core
 	}
 	switch {
 	case s.Dur > 0:
@@ -276,14 +311,15 @@ func (s Span) chrome() chromeEvent {
 	switch s.Kind {
 	case KindDrop:
 		ev.Cat = "drop"
-		ev.Args.Reason = DropReason(s.Arg).String()
+		args.Reason = DropReason(s.Arg).String()
 	case KindEnqueue:
 		occ := s.Arg
-		ev.Args.Occ = &occ
+		args.Occ = &occ
 	case KindServe, KindIngress:
 		wire := s.Arg
-		ev.Args.Wire = &wire
+		args.Wire = &wire
 	}
+	ev.Args = args
 	return ev
 }
 
