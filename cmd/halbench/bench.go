@@ -66,21 +66,46 @@ func engineLabel(shards int) string {
 	return "serial"
 }
 
-// regressionLimit is how much a benchmark's ns/op may grow over the
-// baseline before the comparison fails the run.
-const regressionLimit = 0.25
+// namedBench is one sentinel: a display/snapshot name and its body.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// measureBest runs one benchmark repeat times under testing.Benchmark and
+// returns the fastest row: min-of-N is the standard noise floor for a
+// shared CI machine, so the -baseline gate compares best-case against
+// best-case instead of failing on scheduler jitter.
+func measureBest(nb namedBench, repeat int) (benchResult, error) {
+	var best benchResult
+	for rep := 0; rep < repeat; rep++ {
+		r := testing.Benchmark(nb.fn)
+		if r.N == 0 {
+			return best, fmt.Errorf("bench %s: benchmark failed", nb.name)
+		}
+		br := benchResult{
+			Name:        nb.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if rep == 0 || br.NsPerOp < best.NsPerOp {
+			best = br
+		}
+	}
+	return best, nil
+}
 
 // runBenchSuite measures the regression-sentinel benchmarks (the three
 // ModeNAT80G modes and the Table V matrix, mirroring bench_test.go) with
 // testing.Benchmark and writes a JSON snapshot next to the ASCII summary.
 // Each benchmark is measured repeat times and the snapshot keeps the
-// fastest ns/op (and that run's B/op and allocs/op): min-of-N is the
-// standard noise floor for a shared CI machine, so the -baseline gate
-// compares best-case against best-case instead of failing on scheduler
-// jitter. quick shrinks simulated durations so a CI run finishes in
-// seconds. With a baseline snapshot the run also prints per-benchmark
-// deltas and fails on a regression beyond regressionLimit.
-func runBenchSuite(opt experiments.Options, quick bool, repeat int, prof bool, outPath, baselinePath string) error {
+// fastest ns/op (and that run's B/op and allocs/op). quick shrinks
+// simulated durations so a CI run finishes in seconds. With a baseline
+// snapshot the run also prints per-benchmark deltas and fails on a
+// regression beyond tol (the -baseline-tolerance flag, as a fraction).
+func runBenchSuite(opt experiments.Options, quick bool, repeat int, prof bool, tol float64, outPath, baselinePath string) error {
 	if repeat < 1 {
 		repeat = 1
 	}
@@ -124,10 +149,7 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, prof bool, o
 	}
 	t5Serial := t5
 	t5Serial.Shards = 0
-	benches := []struct {
-		name string
-		fn   func(b *testing.B)
-	}{
+	benches := []namedBench{
 		{"ModeNAT80G/SNIC", modeBench(server.SNICOnly, 0)},
 		{"ModeNAT80G/Host", modeBench(server.HostOnly, 0)},
 		{"ModeNAT80G/HAL", modeBench(server.HAL, 0)},
@@ -139,13 +161,9 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, prof bool, o
 	// carries the serial baseline and the speedup (or, on a starved CPU
 	// quota, the coordination overhead) side by side.
 	if opt.Shards > 1 {
-		benches = append(benches, []struct {
-			name string
-			fn   func(b *testing.B)
-		}{
-			{fmt.Sprintf("ModeNAT80G/HAL/shards%d", opt.Shards), modeBench(server.HAL, opt.Shards)},
-			{fmt.Sprintf("Table5/shards%d", opt.Shards), table5Bench(t5)},
-		}...)
+		benches = append(benches,
+			namedBench{fmt.Sprintf("ModeNAT80G/HAL/shards%d", opt.Shards), modeBench(server.HAL, opt.Shards)},
+			namedBench{fmt.Sprintf("Table5/shards%d", opt.Shards), table5Bench(t5)})
 	}
 
 	snap := benchSnapshot{
@@ -160,22 +178,9 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, prof bool, o
 		Engine:     engineLabel(opt.Shards),
 	}
 	for _, nb := range benches {
-		var best benchResult
-		for rep := 0; rep < repeat; rep++ {
-			r := testing.Benchmark(nb.fn)
-			if r.N == 0 {
-				return fmt.Errorf("bench %s: benchmark failed", nb.name)
-			}
-			br := benchResult{
-				Name:        nb.name,
-				Iterations:  r.N,
-				NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				AllocsPerOp: r.AllocsPerOp(),
-			}
-			if rep == 0 || br.NsPerOp < best.NsPerOp {
-				best = br
-			}
+		best, err := measureBest(nb, repeat)
+		if err != nil {
+			return err
 		}
 		snap.Results = append(snap.Results, best)
 		fmt.Printf("%-18s %6d iter  %14.0f ns/op  %12d B/op  %10d allocs/op  (min of %d)\n",
@@ -215,7 +220,7 @@ func runBenchSuite(opt experiments.Options, quick bool, repeat int, prof bool, o
 	fmt.Printf("wrote %s\n", outPath)
 
 	if baselinePath != "" {
-		return compareBaseline(snap, baselinePath)
+		return compareBaseline(snap, baselinePath, tol)
 	}
 	return nil
 }
@@ -322,10 +327,11 @@ func printBenchProf(opt experiments.Options, runDur sim.Time) error {
 
 // compareBaseline diffs the fresh snapshot against a stored one: one line
 // per shared benchmark with the ns/op and allocs/op deltas, then an error
-// if any ns/op grew beyond regressionLimit. Allocation growth on the
-// pinned-zero benchmarks is always a failure — the zero-alloc hot path is
-// a correctness property here, not a performance preference.
-func compareBaseline(cur benchSnapshot, baselinePath string) error {
+// if any ns/op grew beyond tol (the -baseline-tolerance flag, as a
+// fraction). Allocation growth on the pinned-zero benchmarks is always a
+// failure — the zero-alloc hot path is a correctness property here, not a
+// performance preference.
+func compareBaseline(cur benchSnapshot, baselinePath string, tol float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("-baseline: %w", err)
@@ -389,7 +395,7 @@ func compareBaseline(cur benchSnapshot, baselinePath string) error {
 			delta = (r.NsPerOp - b.NsPerOp) / b.NsPerOp
 		}
 		mark := ""
-		if delta > regressionLimit {
+		if delta > tol {
 			mark = "  <-- REGRESSION"
 			regressed = append(regressed, fmt.Sprintf("%s ns/op %+.1f%%", r.Name, delta*100))
 		}
@@ -439,6 +445,6 @@ func compareBaseline(cur benchSnapshot, baselinePath string) error {
 		return fmt.Errorf("benchmark regression over %s: %s",
 			baselinePath, strings.Join(regressed, "; "))
 	}
-	fmt.Printf("no regression beyond %.0f%%\n", regressionLimit*100)
+	fmt.Printf("no regression beyond %.0f%%\n", tol*100)
 	return nil
 }

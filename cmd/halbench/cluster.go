@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"halsim/internal/cluster"
+	"halsim/internal/experiments"
+	"halsim/internal/nf"
+	"halsim/internal/server"
+	"halsim/internal/sim"
+)
+
+// runClusterSuite measures the fleet-scale sentinels: a whole HAL fleet
+// (64 servers, and 256 without -quick) behind one shared ingress with p2c
+// dispatch, timed once on the serial engine and once on the parallel
+// engine. Serial and /shardsN rows live in ONE snapshot, so the fleet
+// speedup — the headline of the cluster work — is read off a single
+// BENCH_cluster.json, never by diffing two files taken under different
+// conditions. The shard count comes from -shards; with none given the
+// suite picks 5 (one ingress LP plus four server-group LPs), the smallest
+// split that exercises four real cores. -baseline gates ns/op growth at
+// -baseline-tolerance like bench does.
+func runClusterSuite(opt experiments.Options, quick bool, repeat int, tol float64, outPath, baselinePath string) error {
+	if repeat < 1 {
+		repeat = 1
+	}
+	shards := opt.Shards
+	if shards <= 1 {
+		shards = 5
+	}
+	dur := 6 * sim.Millisecond
+	if quick {
+		dur = 2 * sim.Millisecond
+	}
+
+	fleetBench := func(servers int, rate float64, sh int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.Run(
+					server.Config{Mode: server.HAL, Fn: nf.NAT, Seed: opt.Seed, Shards: sh,
+						Cluster: &server.ClusterConfig{Servers: servers, Dispatch: "p2c"}},
+					server.RunConfig{Duration: dur, RateGbps: rate})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Completed == 0 {
+					b.Fatal("no packets completed")
+				}
+			}
+		}
+	}
+	fleets := []int{64}
+	if !quick {
+		fleets = append(fleets, 256)
+	}
+	var benches []namedBench
+	for _, n := range fleets {
+		// Aggregate offered load scales with the fleet so per-server load
+		// stays constant (6.25 Gbps each): the serial/parallel delta then
+		// measures the engine, not a changing work mix.
+		rate := 6.25 * float64(n)
+		benches = append(benches,
+			namedBench{fmt.Sprintf("Fleet%d/serial", n), fleetBench(n, rate, 0)},
+			namedBench{fmt.Sprintf("Fleet%d/shards%d", n, shards), fleetBench(n, rate, shards)})
+	}
+
+	snap := benchSnapshot{
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		Quick:      quick,
+		Seed:       opt.Seed,
+		Repeat:     repeat,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Shards:     shards,
+		Engine:     engineLabel(shards),
+	}
+	serialNs := make(map[int]float64, len(fleets))
+	for _, nb := range benches {
+		best, err := measureBest(nb, repeat)
+		if err != nil {
+			return err
+		}
+		snap.Results = append(snap.Results, best)
+		fmt.Printf("%-18s %6d iter  %14.0f ns/op  %12d B/op  %10d allocs/op  (min of %d)\n",
+			best.Name, best.Iterations, best.NsPerOp, best.BytesPerOp, best.AllocsPerOp, repeat)
+	}
+	// The speedup summary CI greps for: ns/op ratio of the two engines on
+	// the identical fleet (the results are byte-identical, so this is a
+	// pure wall-clock comparison).
+	for i, n := range fleets {
+		serialNs[n] = snap.Results[2*i].NsPerOp
+		if par := snap.Results[2*i+1].NsPerOp; par > 0 {
+			fmt.Printf("Fleet%d speedup at shards=%d: %.2fx (GOMAXPROCS=%d, NumCPU=%d)\n",
+				n, shards, serialNs[n]/par, snap.GoMaxProcs, snap.NumCPU)
+		}
+	}
+
+	if outPath == "" {
+		outPath = "BENCH_cluster.json"
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", outPath)
+
+	if baselinePath != "" {
+		return compareBaseline(snap, baselinePath, tol)
+	}
+	return nil
+}

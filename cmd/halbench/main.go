@@ -14,8 +14,20 @@
 // writes a BENCH_*.json snapshot (override the path with -benchout); CI
 // runs `halbench -quick bench` and archives the snapshot per commit.
 // Passing -baseline BENCH_x.json additionally diffs the fresh snapshot
-// against the stored one and exits nonzero on a >25% ns/op regression (or
-// any allocation growth on a previously zero-alloc benchmark).
+// against the stored one and exits nonzero on an ns/op regression beyond
+// -baseline-tolerance percent (default 25), or on any allocation growth
+// on a previously zero-alloc benchmark.
+//
+// The experiment name "cluster" runs the fleet-scale sentinels — a
+// 64-server (and, without -quick, 256-server) HAL fleet behind a shared
+// ingress — once on the serial engine and once on the parallel engine,
+// and writes BENCH_cluster.json (override with -benchout). Both rows
+// live in one snapshot so the fleet speedup is read off a single file;
+// -baseline and -baseline-tolerance gate it like bench.
+//
+// Exit codes (shared with halsim, see internal/cliutil): 0 success,
+// 1 runtime failure / failed validation run / -baseline regression,
+// 2 usage error (unknown experiment, bad flag, invalid fault plan).
 //
 // -shards N (N > 1) runs every simulation on the conservative-parallel
 // engine; results are byte-identical to serial runs, only wall time
@@ -61,7 +73,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	benchOut := flag.String("benchout", "", "bench: JSON snapshot path (default BENCH_<timestamp>.json)")
-	baseline := flag.String("baseline", "", "bench: compare against this BENCH_*.json snapshot; exit nonzero on a >25% ns/op regression")
+	baseline := flag.String("baseline", "", "bench/cluster: compare against this BENCH_*.json snapshot; exit nonzero on an ns/op regression beyond -baseline-tolerance")
+	baselineTol := flag.Float64("baseline-tolerance", 25, "bench/cluster: percent a benchmark's ns/op may grow over -baseline before the run fails")
 	benchN := flag.Int("benchN", 3, "bench: measure each benchmark this many times and keep the fastest run")
 	prof := flag.Bool("prof", false, "bench: print the parallel engine's flight-recorder summary for the sentinels (needs -shards > 1)")
 	showVersion := flag.Bool("version", false, "print the build commit and exit")
@@ -72,10 +85,15 @@ func main() {
 	}
 	emitCSV = *csv
 	// run returns instead of calling os.Exit so the profile defers flush.
-	os.Exit(run(*quick, *seed, *shards, *benchN, *prof, *cpuprofile, *memprofile, *benchOut, *baseline, flag.Args()))
+	os.Exit(run(*quick, *seed, *shards, *benchN, *prof, *baselineTol, *cpuprofile, *memprofile, *benchOut, *baseline, flag.Args()))
 }
 
-func run(quick bool, seed int64, shards, benchN int, prof bool, cpuprofile, memprofile, benchOut, baseline string, names []string) int {
+func run(quick bool, seed int64, shards, benchN int, prof bool, baselineTol float64, cpuprofile, memprofile, benchOut, baseline string, names []string) int {
+	if baselineTol < 0 {
+		fmt.Fprintln(os.Stderr, "halbench: -baseline-tolerance must be >= 0 (a percentage)")
+		return cliutil.ExitUsage
+	}
+	tol := baselineTol / 100
 	if cpuprofile != "" {
 		f, err := os.Create(cpuprofile)
 		if err != nil {
@@ -245,7 +263,10 @@ func run(quick bool, seed int64, shards, benchN int, prof bool, cpuprofile, memp
 		},
 	}
 	runners["bench"] = func(o experiments.Options) error {
-		return runBenchSuite(o, quick, benchN, prof, benchOut, baseline)
+		return runBenchSuite(o, quick, benchN, prof, tol, benchOut, baseline)
+	}
+	runners["cluster"] = func(o experiments.Options) error {
+		return runClusterSuite(o, quick, benchN, tol, benchOut, baseline)
 	}
 	order := []string{"tab1", "fig2", "fig3", "fig4", "tab2", "fig5", "fig8", "fig9", "tab5", "fig10", "costs", "ablation", "faults", "validate"}
 
@@ -255,8 +276,8 @@ func run(quick bool, seed int64, shards, benchN int, prof bool, cpuprofile, memp
 	for _, name := range names {
 		runner, ok := runners[name]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "halbench: unknown experiment %q (valid: %v, plus bench)\n", name, order)
-			return 2
+			fmt.Fprintf(os.Stderr, "halbench: unknown experiment %q (valid: %v, plus bench and cluster)\n", name, order)
+			return cliutil.ExitUsage
 		}
 		start := time.Now()
 		if err := runner(opt); err != nil {

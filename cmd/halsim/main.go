@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"halsim/internal/cliutil"
+	"halsim/internal/cluster"
 	"halsim/internal/cxl"
 	"halsim/internal/fault"
 	"halsim/internal/nf"
@@ -60,6 +61,11 @@ func main() {
 		shards   = flag.Int("shards", 0, "run on the conservative-parallel engine with this many shards (0/1 = serial; results are byte-identical)")
 		profFlag = flag.Bool("prof", false, "record the parallel engine's flight recorder (needs -shards > 1): window spans, stall attribution, lookahead-slack series")
 		useCXL   = flag.Bool("cxl", false, "attach the SNIC over CXL (coherent shared state)")
+
+		servers  = flag.Int("servers", 0, "fleet size: run N full servers behind one shared ingress and a modeled ToR fabric (0 = single server)")
+		dispatch = flag.String("dispatch", "rr", "fleet ingress dispatch: rr | p2c (with -servers)")
+		wireLat  = flag.Duration("wire", 2*time.Microsecond, "one-way ToR wire+switch latency (with -servers)")
+		linkGbps = flag.Float64("link-gbps", 100, "per-server fabric link bandwidth in Gbps (with -servers)")
 		slbCores = flag.Int("slb-cores", 4, "SLB forwarding cores (slb mode)")
 		slbTh    = flag.Float64("slb-th", 20, "SLB FwdTh in Gbps (slb mode)")
 		function = flag.Bool("functional", false, "execute the real network function per packet")
@@ -158,6 +164,22 @@ func main() {
 	if *useCXL {
 		cfg.Fabric = cxl.NewFabric(cxl.CXL, 2)
 	}
+	if *servers > 0 {
+		if *faultKind != "" {
+			usageErr("-fault drives a single server; fleet runs take server-crash events from a scenario file")
+		}
+		cfg.Cluster = &server.ClusterConfig{
+			Servers:  *servers,
+			Dispatch: strings.ToLower(*dispatch),
+			WireNS:   sim.Duration(*wireLat),
+			LinkGbps: *linkGbps,
+		}
+		// Bad flag values (fleet size, dispatch policy, negative wire/link)
+		// are usage errors like any other flag, not runtime failures.
+		if _, err := cfg.Cluster.WithDefaults(sim.Duration(*duration)); err != nil {
+			usageErr("%v", err)
+		}
+	}
 
 	// Observability: any telemetry output flag opts the run into the
 	// corresponding collector; with none of them the layer stays off.
@@ -235,11 +257,18 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := server.Run(cfg, rc)
+	runFn := server.Run
+	if cfg.Cluster != nil {
+		runFn = cluster.Run
+	}
+	res, err := runFn(cfg, rc)
 	if err != nil {
 		fail("%v", err)
 	}
 	fmt.Printf("mode=%v fn=%v", res.Mode, res.Fn)
+	if cfg.Cluster != nil {
+		fmt.Printf(" servers=%d dispatch=%s", cfg.Cluster.Servers, cfg.Cluster.Dispatch)
+	}
 	if cfg.PipelineOn {
 		fmt.Printf("+%v", cfg.Pipeline)
 	}
@@ -361,16 +390,21 @@ func writeArtifacts(res server.Result, csvPath, jsonPath, tracePath, metricsPath
 		write(csvPath, "timeline", res.Timeline.WriteCSV)
 		write(jsonPath, "timeline-json", res.Timeline.WriteJSON)
 	}
-	if res.Trace != nil {
-		if res.Prof != nil {
-			// A profiled run exports the combined document: packet spans with
-			// LP attribution plus the recorder's per-LP window lanes.
-			write(tracePath, "trace-out", func(w io.Writer) error {
-				return telemetry.WriteProfTrace(w, res.Trace, res.Prof)
-			})
-		} else {
-			write(tracePath, "trace-out", res.Trace.WriteTrace)
-		}
+	switch {
+	case res.Trace != nil && res.Prof != nil:
+		// A profiled run exports the combined document: packet spans with
+		// LP attribution plus the recorder's per-LP window lanes.
+		write(tracePath, "trace-out", func(w io.Writer) error {
+			return telemetry.WriteProfTrace(w, res.Trace, res.Prof)
+		})
+	case res.Trace != nil:
+		write(tracePath, "trace-out", res.Trace.WriteTrace)
+	case res.Prof != nil:
+		// Cluster runs have no packet tracer; the document carries the
+		// recorder's per-server lp:* lanes alone.
+		write(tracePath, "trace-out", func(w io.Writer) error {
+			return telemetry.WriteProfTrace(w, nil, res.Prof)
+		})
 	}
 	if res.Metrics != nil {
 		write(metricsPath, "metrics-out", res.Metrics.WriteText)

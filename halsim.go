@@ -20,6 +20,7 @@
 package halsim
 
 import (
+	"halsim/internal/cluster"
 	"halsim/internal/cxl"
 	"halsim/internal/experiments"
 	"halsim/internal/fault"
@@ -87,8 +88,24 @@ type (
 	Result    = server.Result
 )
 
-// Run executes one simulation and returns its metrics.
-func Run(cfg Config, rc RunConfig) (Result, error) { return server.Run(cfg, rc) }
+// ClusterConfig asks for a fleet: Config.Cluster = &ClusterConfig{Servers:
+// N} runs N complete servers behind one shared ingress and a modeled
+// ToR fabric, each server its own logical process under Config.Shards.
+// The Result is the fleet aggregate; latency percentiles are ingress
+// round trips, fabric included.
+type ClusterConfig = server.ClusterConfig
+
+// ServerCrash is one timed whole-server blackout of a cluster run.
+type ServerCrash = server.ServerCrash
+
+// Run executes one simulation and returns its metrics. A Config with
+// Cluster set runs a fleet; otherwise a single server.
+func Run(cfg Config, rc RunConfig) (Result, error) {
+	if cfg.Cluster != nil {
+		return cluster.Run(cfg, rc)
+	}
+	return server.Run(cfg, rc)
+}
 
 // Workload identifies a datacenter traffic trace (Fig. 8).
 type Workload = trace.Workload

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"math/rand"
+
+	"halsim/internal/sim"
+)
+
+// fabric models the top-of-rack network as a star: one full-duplex link
+// per server, each direction with its own serialization point (freeAt)
+// at linkGbps, plus a fixed one-way wire+switch latency. A frame leaving
+// at instant t departs at max(t, freeAt), finishes serializing WireLen
+// bytes later, and arrives one wire after that — so every cross-LP
+// message is at least wireNS in the future, which is exactly the
+// lookahead the topology promises the executor.
+type fabric struct {
+	wireNS   sim.Time
+	linkGbps float64
+	downFree []sim.Time // ingress -> server i serialization point
+	upFree   []sim.Time // server i -> ingress serialization point
+}
+
+func newFabric(n int, wireNS sim.Time, linkGbps float64) *fabric {
+	return &fabric{
+		wireNS:   wireNS,
+		linkGbps: linkGbps,
+		downFree: make([]sim.Time, n),
+		upFree:   make([]sim.Time, n),
+	}
+}
+
+// serNS is the serialization delay of wireLen bytes at the link rate.
+func (f *fabric) serNS(wireLen int) sim.Time {
+	return sim.Time(float64(wireLen) * 8 / f.linkGbps)
+}
+
+// down sends a request toward server i at instant at; returns the
+// arrival instant at the server's NIC. Ingress-owned state.
+func (f *fabric) down(i int, at sim.Time, wireLen int) sim.Time {
+	dep := at
+	if f.downFree[i] > dep {
+		dep = f.downFree[i]
+	}
+	fin := dep + f.serNS(wireLen)
+	f.downFree[i] = fin
+	return fin + f.wireNS
+}
+
+// up sends a response from server i at instant at; returns the arrival
+// instant at the ingress. Server-LP-owned state: only server i's engine
+// touches upFree[i], and servers sharing a group engine touch disjoint
+// slots single-threadedly.
+func (f *fabric) up(i int, at sim.Time, wireLen int) sim.Time {
+	dep := at
+	if f.upFree[i] > dep {
+		dep = f.upFree[i]
+	}
+	fin := dep + f.serNS(wireLen)
+	f.upFree[i] = fin
+	return fin + f.wireNS
+}
+
+// dispatcher picks a destination server per request. Ingress-owned, so
+// every policy sees the same deterministic call sequence in serial and
+// parallel runs.
+type dispatcher interface {
+	// pick chooses a server given the per-server in-flight counts.
+	pick(outstanding []int64) int
+}
+
+func newDispatcher(policy string, n int, seed int64) dispatcher {
+	switch policy {
+	case "p2c":
+		return &p2c{n: n, rng: rand.New(rand.NewSource(seed))}
+	default:
+		return &roundRobin{n: n}
+	}
+}
+
+// roundRobin cycles through the fleet.
+type roundRobin struct{ n, next int }
+
+func (d *roundRobin) pick([]int64) int {
+	i := d.next
+	d.next++
+	if d.next == d.n {
+		d.next = 0
+	}
+	return i
+}
+
+// p2c is power-of-two-choices over the ingress's in-flight counts: draw
+// two servers, send to the one with fewer outstanding requests (first
+// draw wins ties, keeping the policy deterministic).
+type p2c struct {
+	n   int
+	rng *rand.Rand
+}
+
+func (d *p2c) pick(outstanding []int64) int {
+	a := d.rng.Intn(d.n)
+	b := d.rng.Intn(d.n)
+	if outstanding[b] < outstanding[a] {
+		return b
+	}
+	return a
+}

@@ -103,7 +103,7 @@ func (s *Scenario) parseChaos(n *yaml.Node) error {
 		}
 		for _, k := range v.Keys {
 			known := false
-			for _, want := range eventKinds {
+			for _, want := range chaosKinds {
 				if k == want {
 					known = true
 					break
@@ -111,7 +111,7 @@ func (s *Scenario) parseChaos(n *yaml.Node) error {
 			}
 			if !known {
 				return errf("chaos.kinds: line %d: unknown kind %q (want %s)",
-					v.Get(k).Line, k, strings.Join(eventKinds, ", "))
+					v.Get(k).Line, k, strings.Join(chaosKinds, ", "))
 			}
 			w, err := v.Get(k).Float()
 			if err != nil {
@@ -161,7 +161,7 @@ func (c ChaosSpec) withDefaults(runSeed int64, duration sim.Time) ChaosSpec {
 		c.MaxOverlap = 2
 	}
 	if len(c.Kinds) == 0 {
-		for _, k := range eventKinds {
+		for _, k := range chaosKinds {
 			c.Kinds = append(c.Kinds, KindWeight{Kind: k, Weight: 1})
 		}
 	}

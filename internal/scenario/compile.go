@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"halsim/internal/cluster"
 	"halsim/internal/cxl"
 	"halsim/internal/fault"
 	"halsim/internal/server"
@@ -85,6 +86,14 @@ func (s *Scenario) Compile(ov Overrides) (*Compiled, error) {
 	if r.CXL {
 		c.Cfg.Fabric = cxl.NewFabric(cxl.CXL, 2)
 	}
+	if r.Cluster != nil {
+		c.Cfg.Cluster = &server.ClusterConfig{
+			Servers:  r.Cluster.Servers,
+			Dispatch: r.Cluster.Dispatch,
+			WireNS:   r.Cluster.Wire,
+			LinkGbps: r.Cluster.LinkGbps,
+		}
+	}
 
 	c.RC = server.RunConfig{
 		Duration: r.Duration,
@@ -113,17 +122,32 @@ func (s *Scenario) Compile(ov Overrides) (*Compiled, error) {
 	})
 
 	if len(c.FaultWindows) > 0 {
-		plan := fault.NewPlan(c.Seed)
-		for i, w := range c.FaultWindows {
-			if err := compileWindow(plan, w, r.Duration); err != nil {
-				return nil, fmt.Errorf("fault window %d: %w", i, err)
+		if c.Cfg.Cluster != nil {
+			// Fleet runs lower their windows onto whole-server blackouts;
+			// the cluster runner compiles those into per-server fault
+			// plans itself (validation guarantees only server-crash kinds
+			// reach this branch).
+			for _, w := range c.FaultWindows {
+				end := w.At + w.For
+				if end > r.Duration {
+					end = r.Duration
+				}
+				c.Cfg.Cluster.Crashes = append(c.Cfg.Cluster.Crashes,
+					server.ServerCrash{Server: w.Server, At: w.At, For: end - w.At})
 			}
+		} else {
+			plan := fault.NewPlan(c.Seed)
+			for i, w := range c.FaultWindows {
+				if err := compileWindow(plan, w, r.Duration); err != nil {
+					return nil, fmt.Errorf("fault window %d: %w", i, err)
+				}
+			}
+			if err := plan.Validate(); err != nil {
+				return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+			}
+			c.Plan = plan
+			c.Cfg.Faults = plan
 		}
-		if err := plan.Validate(); err != nil {
-			return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
-		}
-		c.Plan = plan
-		c.Cfg.Faults = plan
 
 		// Phase marks bracket the overall fault span (before | during |
 		// after); a span reaching the end of the run has no after phase.
@@ -143,7 +167,7 @@ func (s *Scenario) Compile(ov Overrides) (*Compiled, error) {
 	// Delivered-rate series: on for every fault run (the recovery signal
 	// and the report's rate table) at duration/60, floored at 100 µs.
 	c.RC.RateWindow = r.RateWindow
-	if c.RC.RateWindow == 0 && c.Plan != nil {
+	if c.RC.RateWindow == 0 && len(c.FaultWindows) > 0 {
 		c.RC.RateWindow = r.Duration / 60
 		if c.RC.RateWindow < 100*sim.Microsecond {
 			c.RC.RateWindow = 100 * sim.Microsecond
@@ -209,6 +233,8 @@ func (w EventSpec) describe() string {
 		return "snic accel degrade to software path"
 	case "telemetry-blackout":
 		return "lbp telemetry blackout"
+	case "server-crash":
+		return fmt.Sprintf("server %d blackout", w.Server)
 	default:
 		return w.Kind
 	}
@@ -232,7 +258,11 @@ func (s *Scenario) Execute(ov Overrides) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := server.Run(comp.Cfg, comp.RC)
+	runFn := server.Run
+	if comp.Cfg.Cluster != nil {
+		runFn = cluster.Run
+	}
+	res, err := runFn(comp.Cfg, comp.RC)
 	if err != nil {
 		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}

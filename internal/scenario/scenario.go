@@ -71,6 +71,10 @@ type RunSpec struct {
 
 	Functional bool
 
+	// Cluster asks for a fleet: N full servers behind one shared ingress
+	// and a modeled ToR fabric (nil = single server).
+	Cluster *ClusterSpec
+
 	// Drain keeps the run going past Duration until in-flight packets
 	// settle (default: on whenever the scenario injects faults, so the
 	// conservation ledger closes exactly).
@@ -96,21 +100,35 @@ type TelemetrySpec struct {
 	Prof           bool
 }
 
+// ClusterSpec is the scenario's `run.cluster` block.
+type ClusterSpec struct {
+	Servers  int
+	Dispatch string   // "" (rr) | rr | p2c
+	Wire     sim.Time // one-way ToR latency (0 = default 2µs)
+	LinkGbps float64  // per-server link bandwidth (0 = default 100)
+}
+
 // EventSpec is one timed fault window of the scenario.
 type EventSpec struct {
 	At   sim.Time
 	For  sim.Time
-	Kind string // core-crash | rx-drop | accel-degrade | telemetry-blackout
+	Kind string // core-crash | rx-drop | accel-degrade | telemetry-blackout | server-crash
 	Side string // snic (default) | host — core-crash and rx-drop only
 
 	Cores    int     // core-crash: cores 0..Cores-1 crash
 	DropProb float64 // rx-drop
+	Server   int     // server-crash (cluster runs): which server blacks out
 
 	Line int
 }
 
-// Known event kinds, in canonical order.
-var eventKinds = []string{"core-crash", "rx-drop", "accel-degrade", "telemetry-blackout"}
+// Known event kinds, in canonical order. server-crash is cluster-only:
+// it blacks out one whole server of a fleet.
+var eventKinds = []string{"core-crash", "rx-drop", "accel-degrade", "telemetry-blackout", "server-crash"}
+
+// chaosKinds are the kinds the chaos generator may draw: single-server
+// faults only (chaos is rejected on fleet runs).
+var chaosKinds = eventKinds[:4]
 
 // Parse decodes and validates one scenario document.
 func Parse(data []byte) (*Scenario, error) {
@@ -240,7 +258,8 @@ func (s *Scenario) parseRun(n *yaml.Node) error {
 	}
 	if err := checkKeys(n, "run", "mode", "fn", "fn_config", "pipeline", "rate_gbps",
 		"workload", "duration", "warmup", "seed", "shards", "cxl", "slb_cores",
-		"slb_fwd_th_gbps", "functional", "drain", "rate_window", "telemetry"); err != nil {
+		"slb_fwd_th_gbps", "functional", "drain", "rate_window", "telemetry",
+		"cluster"); err != nil {
 		return err
 	}
 	r := &s.Run
@@ -370,6 +389,41 @@ func (s *Scenario) parseRun(n *yaml.Node) error {
 			return err
 		}
 	}
+	if v := n.Get("cluster"); v != nil {
+		if err := checkKeys(v, "run.cluster", "servers", "dispatch", "wire", "link_gbps"); err != nil {
+			return err
+		}
+		cl := &ClusterSpec{}
+		sv := v.Get("servers")
+		if sv == nil {
+			return errf("run.cluster: line %d: missing `servers`", v.Line)
+		}
+		nsrv, err := sv.Int64()
+		if err != nil {
+			return errf("run.cluster.servers: %v", err)
+		}
+		cl.Servers = int(nsrv)
+		if d := v.Get("dispatch"); d != nil {
+			if cl.Dispatch, err = d.Scalar(); err != nil {
+				return errf("run.cluster.dispatch: %v", err)
+			}
+			cl.Dispatch = strings.ToLower(cl.Dispatch)
+			if cl.Dispatch != "rr" && cl.Dispatch != "p2c" {
+				return errf("run.cluster.dispatch: line %d: want rr or p2c, have %q", d.Line, cl.Dispatch)
+			}
+		}
+		if w := v.Get("wire"); w != nil {
+			if cl.Wire, err = dur(w, "run.cluster.wire"); err != nil {
+				return err
+			}
+		}
+		if g := v.Get("link_gbps"); g != nil {
+			if cl.LinkGbps, err = g.Float(); err != nil {
+				return errf("run.cluster.link_gbps: %v", err)
+			}
+		}
+		r.Cluster = cl
+	}
 	if v := n.Get("telemetry"); v != nil {
 		if err := checkKeys(v, "run.telemetry", "timeline", "timeline_period", "trace_every", "prof"); err != nil {
 			return err
@@ -409,7 +463,7 @@ func (s *Scenario) parseEvents(n *yaml.Node) error {
 	}
 	for i, item := range n.Items {
 		what := fmt.Sprintf("events[%d]", i)
-		if err := checkKeys(item, what, "at", "for", "kind", "side", "cores", "drop_prob"); err != nil {
+		if err := checkKeys(item, what, "at", "for", "kind", "side", "cores", "drop_prob", "server"); err != nil {
 			return err
 		}
 		ev := EventSpec{Line: item.Line, Side: "snic", Cores: 2, DropProb: 0.2}
@@ -477,6 +531,16 @@ func (s *Scenario) parseEvents(n *yaml.Node) error {
 				return errf("%s.drop_prob: %v", what, err)
 			}
 		}
+		if v := item.Get("server"); v != nil {
+			if ev.Kind != "server-crash" {
+				return errf("%s.server: line %d: `server` only applies to server-crash", what, v.Line)
+			}
+			srv, err := v.Int64()
+			if err != nil {
+				return errf("%s.server: %v", what, err)
+			}
+			ev.Server = int(srv)
+		}
 		s.Events = append(s.Events, ev)
 	}
 	return nil
@@ -523,6 +587,27 @@ func (s *Scenario) Validate() error {
 		}
 		if ev.Kind == "accel-degrade" && ev.Side == "host" {
 			return errf("%s: accel-degrade targets the SNIC accelerator", what)
+		}
+		if ev.Kind == "server-crash" {
+			if r.Cluster == nil {
+				return errf("%s: server-crash needs a run.cluster block", what)
+			}
+			if ev.Server < 0 || ev.Server >= r.Cluster.Servers {
+				return errf("%s: server %d outside fleet of %d", what, ev.Server, r.Cluster.Servers)
+			}
+		} else if r.Cluster != nil {
+			return errf("%s: %s targets a single server's internals; fleet runs only take server-crash events", what, ev.Kind)
+		}
+	}
+	if r.Cluster != nil {
+		if r.Cluster.Servers < 1 || r.Cluster.Servers > 256 {
+			return errf("run.cluster.servers: %d outside 1..256", r.Cluster.Servers)
+		}
+		if s.Chaos != nil {
+			return errf("chaos: not supported with run.cluster (chaos draws single-server faults)")
+		}
+		if r.Telemetry.TraceEvery > 0 {
+			return errf("run.telemetry.trace_every: packet tracing is not supported with run.cluster")
 		}
 	}
 	if s.Chaos != nil {

@@ -426,3 +426,165 @@ chaos:
 		t.Fatal("seed override left the chaos schedule unchanged")
 	}
 }
+
+const clusterDoc = `
+name: fleet-smoke
+description: small fleet with one server blackout
+run:
+  mode: hal
+  fn: NAT
+  rate_gbps: 80
+  duration: 4ms
+  seed: 5
+  cluster:
+    servers: 6
+    dispatch: p2c
+    wire: 4us
+    link_gbps: 50
+events:
+  - at: 1ms
+    for: 1ms
+    kind: server-crash
+    server: 2
+assertions:
+  - metric: conservation
+    op: ==
+    value: closed
+  - metric: avg_gbps
+    op: ">="
+    value: 70
+`
+
+// TestClusterScenario parses and lowers a fleet scenario: the run.cluster
+// block becomes Config.Cluster, server-crash events become whole-server
+// blackout windows (not fault-plan events), and execution passes its
+// assertions with the ledger closed.
+func TestClusterScenario(t *testing.T) {
+	s, err := Parse([]byte(clusterDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Compile(Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Cfg.Cluster
+	if cl == nil {
+		t.Fatal("run.cluster did not lower to Config.Cluster")
+	}
+	if cl.Servers != 6 || cl.Dispatch != "p2c" || cl.WireNS != 4000 || cl.LinkGbps != 50 {
+		t.Fatalf("cluster lowered wrong: %+v", cl)
+	}
+	if len(cl.Crashes) != 1 || cl.Crashes[0].Server != 2 || cl.Crashes[0].At != 1_000_000 || cl.Crashes[0].For != 1_000_000 {
+		t.Fatalf("server-crash lowered wrong: %+v", cl.Crashes)
+	}
+	if c.Plan != nil || c.Cfg.Faults != nil {
+		t.Fatal("fleet scenario must not carry a single-server fault plan")
+	}
+	if !c.RC.Drain {
+		t.Fatal("fault run should drain by default")
+	}
+	o, err := s.Execute(Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Passed {
+		for _, ch := range o.Checks {
+			t.Logf("check: %s observed %s pass=%v %s", ch.Assertion.String(), ch.ObservedText, ch.Pass, ch.Detail)
+		}
+		t.Fatal("cluster scenario failed its assertions")
+	}
+}
+
+// TestClusterReportByteIdenticalAcrossShards extends the determinism
+// pledge to fleets: serial and partitioned cluster runs render the same
+// bytes.
+func TestClusterReportByteIdenticalAcrossShards(t *testing.T) {
+	render := func(shards int) string {
+		s, err := Parse([]byte(clusterDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := s.Execute(Overrides{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var md bytes.Buffer
+		if err := o.WriteMarkdown(&md); err != nil {
+			t.Fatal(err)
+		}
+		return md.String()
+	}
+	if md1, md4 := render(1), render(4); md1 != md4 {
+		t.Errorf("fleet markdown reports differ between shards=1 and shards=4:\n--- shards=1\n%s\n--- shards=4\n%s", md1, md4)
+	}
+}
+
+// TestClusterScenarioValidation exercises the fleet-specific rejections.
+func TestClusterScenarioValidation(t *testing.T) {
+	bad := []struct{ doc, want string }{
+		{`
+name: x
+run:
+  rate_gbps: 10
+  duration: 2ms
+  cluster:
+    servers: 0
+`, "servers"},
+		{`
+name: x
+run:
+  rate_gbps: 10
+  duration: 2ms
+events:
+  - at: 1ms
+    for: 500us
+    kind: server-crash
+    server: 1
+`, "run.cluster"},
+		{`
+name: x
+run:
+  rate_gbps: 10
+  duration: 2ms
+  cluster:
+    servers: 4
+events:
+  - at: 1ms
+    for: 500us
+    kind: server-crash
+    server: 9
+`, "outside fleet"},
+		{`
+name: x
+run:
+  rate_gbps: 10
+  duration: 2ms
+  cluster:
+    servers: 4
+events:
+  - at: 1ms
+    for: 500us
+    kind: core-crash
+`, "server-crash"},
+		{`
+name: x
+run:
+  rate_gbps: 10
+  duration: 2ms
+  cluster:
+    servers: 4
+chaos:
+  events: 2
+`, "chaos"},
+	}
+	for i, tc := range bad {
+		_, err := Parse([]byte(tc.doc))
+		if err == nil {
+			t.Fatalf("case %d: bad scenario parsed cleanly", i)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}

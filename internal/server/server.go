@@ -159,6 +159,14 @@ type Config struct {
 	// byte-identical either way.
 	Shards int
 
+	// Cluster, when non-nil, asks for a fleet-scale run: Servers full
+	// SNIC+host instances of this very Config behind a shared ingress
+	// and a modeled ToR fabric, each server (group) its own logical
+	// process. Plain data here so the server package stays free of the
+	// cluster runner; execute through the facade (halsim.Run) or
+	// internal/cluster.Run — server.Run rejects a cluster config.
+	Cluster *ClusterConfig
+
 	RingSize int
 	Seed     int64
 }
@@ -299,76 +307,11 @@ var (
 
 // Run executes one experiment and returns its metrics.
 func Run(cfg Config, rc RunConfig) (Result, error) {
-	if cfg.SNIC == nil {
-		cfg.SNIC = platform.BlueField2()
+	if cfg.Cluster != nil {
+		return Result{}, fmt.Errorf("server: Config.Cluster set; run fleets through the halsim facade or internal/cluster")
 	}
-	if cfg.Host == nil {
-		cfg.Host = platform.HostXeon()
-	}
-	if cfg.RingSize == 0 {
-		cfg.RingSize = dpdk.DefaultRingSize
-	}
-	if rc.Duration <= 0 {
-		return Result{}, fmt.Errorf("server: non-positive duration")
-	}
-	if rc.Sizes == nil {
-		rc.Sizes = trace.MTUOnly()
-	}
-	if rc.Epoch == 0 {
-		rc.Epoch = sim.Millisecond
-	}
-	if rc.Warmup == 0 {
-		rc.Warmup = rc.Duration / 5
-		if rc.Warmup > 100*sim.Millisecond {
-			rc.Warmup = 100 * sim.Millisecond
-		}
-	}
-	if cfg.Fn.Stateful() && cfg.Fabric != nil &&
-		(cfg.Mode == HAL || cfg.Mode == SLB) && !cfg.Fabric.SupportsCooperativeState() {
-		return Result{}, fmt.Errorf("server: %v is stateful; cooperative processing over %v needs CXL (§V-C)",
-			cfg.Fn, cfg.Fabric.Kind)
-	}
-	if cfg.MixOn {
-		if cfg.MixFraction < 0 || cfg.MixFraction > 1 ||
-			cfg.MixFractionBefore < 0 || cfg.MixFractionBefore > 1 {
-			return Result{}, fmt.Errorf("server: mix fractions must be within [0,1]")
-		}
-		if cfg.PipelineOn {
-			return Result{}, fmt.Errorf("server: Mix and Pipeline are mutually exclusive")
-		}
-	}
-	if cfg.Mode == SLB {
-		if cfg.SLBCores <= 0 || cfg.SLBCores >= 8 {
-			return Result{}, fmt.Errorf("server: SLB needs 1..7 forwarding cores, got %d", cfg.SLBCores)
-		}
-	}
-	if cfg.Mode == SLB || cfg.Mode == SLBHost {
-		if cfg.SLBFwdThGbps <= 0 {
-			return Result{}, fmt.Errorf("server: %v needs a forwarding threshold", cfg.Mode)
-		}
-	}
-	if cfg.Fn.Stateful() && cfg.Fabric != nil &&
-		cfg.Mode == SLBHost && !cfg.Fabric.SupportsCooperativeState() {
-		return Result{}, fmt.Errorf("server: %v is stateful; cooperative processing over %v needs CXL (§V-C)",
-			cfg.Fn, cfg.Fabric.Kind)
-	}
-
-	for i, m := range rc.PhaseMarks {
-		if m <= 0 || m >= rc.Duration {
-			return Result{}, fmt.Errorf("server: phase mark %v outside (0, %v)", m, rc.Duration)
-		}
-		if i > 0 && m <= rc.PhaseMarks[i-1] {
-			return Result{}, fmt.Errorf("server: phase marks must be ascending")
-		}
-	}
-	if rc.RateWindow < 0 {
-		return Result{}, fmt.Errorf("server: negative rate window")
-	}
-	if cfg.Shards < 0 {
-		return Result{}, fmt.Errorf("server: negative shard count %d", cfg.Shards)
-	}
-	if rc.Duration > sim.SeqMaxTime {
-		return Result{}, fmt.Errorf("server: duration %v exceeds the engine's %v schedule horizon", rc.Duration, sim.SeqMaxTime)
+	if err := prepare(&cfg, &rc); err != nil {
+		return Result{}, err
 	}
 
 	r := &run{cfg: cfg, rc: rc}
@@ -399,6 +342,85 @@ func Run(cfg Config, rc RunConfig) (Result, error) {
 		}
 	}
 	return r.collect(), nil
+}
+
+// prepare applies defaults and validates one server's Config/RunConfig in
+// place. Shared by Run and by NewInstance, so an embedded cluster server
+// obeys exactly the rules a standalone run does.
+func prepare(cfg *Config, rc *RunConfig) error {
+	if cfg.SNIC == nil {
+		cfg.SNIC = platform.BlueField2()
+	}
+	if cfg.Host == nil {
+		cfg.Host = platform.HostXeon()
+	}
+	if cfg.RingSize == 0 {
+		cfg.RingSize = dpdk.DefaultRingSize
+	}
+	if rc.Duration <= 0 {
+		return fmt.Errorf("server: non-positive duration")
+	}
+	if rc.Sizes == nil {
+		rc.Sizes = trace.MTUOnly()
+	}
+	if rc.Epoch == 0 {
+		rc.Epoch = sim.Millisecond
+	}
+	if rc.Warmup == 0 {
+		rc.Warmup = rc.Duration / 5
+		if rc.Warmup > 100*sim.Millisecond {
+			rc.Warmup = 100 * sim.Millisecond
+		}
+	}
+	if cfg.Fn.Stateful() && cfg.Fabric != nil &&
+		(cfg.Mode == HAL || cfg.Mode == SLB) && !cfg.Fabric.SupportsCooperativeState() {
+		return fmt.Errorf("server: %v is stateful; cooperative processing over %v needs CXL (§V-C)",
+			cfg.Fn, cfg.Fabric.Kind)
+	}
+	if cfg.MixOn {
+		if cfg.MixFraction < 0 || cfg.MixFraction > 1 ||
+			cfg.MixFractionBefore < 0 || cfg.MixFractionBefore > 1 {
+			return fmt.Errorf("server: mix fractions must be within [0,1]")
+		}
+		if cfg.PipelineOn {
+			return fmt.Errorf("server: Mix and Pipeline are mutually exclusive")
+		}
+	}
+	if cfg.Mode == SLB {
+		if cfg.SLBCores <= 0 || cfg.SLBCores >= 8 {
+			return fmt.Errorf("server: SLB needs 1..7 forwarding cores, got %d", cfg.SLBCores)
+		}
+	}
+	if cfg.Mode == SLB || cfg.Mode == SLBHost {
+		if cfg.SLBFwdThGbps <= 0 {
+			return fmt.Errorf("server: %v needs a forwarding threshold", cfg.Mode)
+		}
+	}
+	if cfg.Fn.Stateful() && cfg.Fabric != nil &&
+		cfg.Mode == SLBHost && !cfg.Fabric.SupportsCooperativeState() {
+		return fmt.Errorf("server: %v is stateful; cooperative processing over %v needs CXL (§V-C)",
+			cfg.Fn, cfg.Fabric.Kind)
+	}
+
+	for i, m := range rc.PhaseMarks {
+		if m <= 0 || m >= rc.Duration {
+			return fmt.Errorf("server: phase mark %v outside (0, %v)", m, rc.Duration)
+		}
+		if i > 0 && m <= rc.PhaseMarks[i-1] {
+			return fmt.Errorf("server: phase marks must be ascending")
+		}
+	}
+	if rc.RateWindow < 0 {
+		return fmt.Errorf("server: negative rate window")
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("server: negative shard count %d", cfg.Shards)
+	}
+	if rc.Duration > sim.SeqMaxTime {
+		return fmt.Errorf("server: duration %v exceeds the engine's %v schedule horizon", rc.Duration, sim.SeqMaxTime)
+	}
+
+	return nil
 }
 
 // sideIdx indexes the per-side accumulators of a run.
@@ -489,6 +511,15 @@ type run struct {
 	hostSleep *dpdk.SleepController
 
 	cli *client
+
+	// embedded marks a server built by NewInstance as one member of a
+	// cluster: the engines and pools are injected (all four handles alias
+	// the owning group's), the client is built but never started (the
+	// shared ingress offers the traffic), and respond — when non-nil —
+	// intercepts wire-bound responses in place of deliverResponse so the
+	// cluster can carry them back over the fabric.
+	embedded bool
+	respond  func(*packet.Packet)
 
 	// fault machinery
 	inj           *fault.Injector
@@ -666,7 +697,11 @@ func (r *run) build() error {
 	r.sw.Bind(eswitch.PortHost, func(p *packet.Packet) {
 		r.hop(shardNet, shardHost, r.fwdAt+platform.PCIeCrossNS+platform.SNICCloserNS, r.arriveHostCall, p)
 	})
-	r.sw.Bind(eswitch.PortWire, func(p *packet.Packet) { r.deliverResponse(p) })
+	wire := func(p *packet.Packet) { r.deliverResponse(p) }
+	if r.respond != nil {
+		wire = r.respond
+	}
+	r.sw.Bind(eswitch.PortWire, wire)
 
 	switch cfg.Mode {
 	case HostOnly:
@@ -1069,7 +1104,9 @@ func (r *run) start() {
 			r.winMaxGbps = g
 		}
 	})
-	r.cli.start()
+	if !r.embedded {
+		r.cli.start()
+	}
 }
 
 func (r *run) collect() Result {

@@ -14,6 +14,31 @@ import (
 // enabling them cannot perturb Result either (TestGoldenDeterminism holds
 // byte-for-byte with telemetry on).
 
+// ClusterMetrics exposes the run's registry handles to the cluster
+// runner, which samples a whole fleet into the same halsim_* metric set
+// a single server publishes (rates summed, occupancies maxed, threshold
+// registers averaged across servers).
+type ClusterMetrics struct {
+	m *telMetrics
+}
+
+// NewClusterMetrics registers the standard metric set on reg.
+func NewClusterMetrics(reg *telemetry.Registry) *ClusterMetrics {
+	return &ClusterMetrics{m: newTelMetrics(reg)}
+}
+
+// Publish pushes one aggregate sample.
+func (c *ClusterMetrics) Publish(s telemetry.Sample, sent uint64) {
+	c.m.publish(s, sent)
+}
+
+// PublishProf publishes the flight recorder's deterministic counters
+// into reg under the halsim_par_* / halsim_wheel_* names a single-server
+// run uses.
+func PublishProf(reg *telemetry.Registry, rec *prof.Recorder) {
+	publishProf(reg, rec)
+}
+
 // telMetrics holds the run's registry handles. Registration happens once at
 // build time; publication once per sample tick and once at run end — never
 // per packet.

@@ -102,8 +102,10 @@ const infTime = sim.Time(math.MaxInt64 / 4)
 // noEvent is the published horizon of an engine with an empty queue.
 const noEvent = sim.Time(math.MaxInt64)
 
-// maxWorkers bounds the worker count (participant sets are bitmasks).
-const maxWorkers = 32
+// maxWorkers bounds the worker count (participant sets are bitmasks, and
+// every worker engine needs a distinct seq-key rank below sim's six-bit
+// rank ceiling once the control engine takes one).
+const maxWorkers = 63
 
 // Link is one directed edge of the LP graph: messages src→dst arrive no
 // earlier than Latency after the instant they are sent. Dst may be CtrlDst;
@@ -269,11 +271,15 @@ type shard struct {
 type Exec struct {
 	shards []*shard
 	ctrl   *sim.Engine
-	// dist is the all-pairs closure of declared link latencies; cycle[i]
-	// is LP i's shortest round trip through any peer (the earliest one of
-	// its own sends can echo back — infTime when no return path exists);
-	// lookahead is the smallest finite dist entry (drain pacing).
+	// dist is the all-pairs closure of declared link latencies; reach[i]
+	// is the bitmask of LPs transitively reachable from i (i included) —
+	// since dist is already a closure, that is exactly the finite entries
+	// of row i; cycle[i] is LP i's shortest round trip through any peer
+	// (the earliest one of its own sends can echo back — infTime when no
+	// return path exists); lookahead is the smallest finite dist entry
+	// (drain pacing).
 	dist      [][]sim.Time
+	reach     []uint64
 	cycle     []sim.Time
 	lookahead sim.Time
 
@@ -328,6 +334,15 @@ func New(ctrl *sim.Engine, workers []*sim.Engine, topo Topology) *Exec {
 		for _, d := range dist[i] {
 			if d < x.lookahead {
 				x.lookahead = d
+			}
+		}
+	}
+	x.reach = make([]uint64, len(workers))
+	for i := range workers {
+		x.reach[i] = 1 << i
+		for j, d := range dist[i] {
+			if d != infTime {
+				x.reach[i] |= 1 << j
 			}
 		}
 	}
@@ -559,24 +574,13 @@ func (x *Exec) refreshNext() {
 // links. Everything outside the set provably neither executes nor receives
 // before end and is parked coordinator-side without a handoff.
 func (x *Exec) activeClosure(end sim.Time) uint64 {
+	// dist is an all-pairs closure, so reach[i] already holds everything
+	// transitively reachable from i: the closure of the seed set is a
+	// single OR pass, O(workers) instead of an iterated fixpoint.
 	var mask uint64
 	for i := range x.shards {
 		if x.nextAt[i] < end {
-			mask |= 1 << i
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for s := range x.shards {
-			if mask&(1<<s) == 0 {
-				continue
-			}
-			for d, l := range x.dist[s] {
-				if l != infTime && mask&(1<<d) == 0 {
-					mask |= 1 << d
-					changed = true
-				}
-			}
+			mask |= x.reach[i]
 		}
 	}
 	return mask
@@ -734,11 +738,14 @@ func (x *Exec) arrive(lane *prof.Lane) {
 // verdicts agree.
 func (x *Exec) planStep(me int, end sim.Time) (quiet, reachable bool, bound sim.Time, binder int) {
 	quiet = true
+	// active accumulates reach[s] for every LP s with work left, so by the
+	// end of the horizon scan it is already the transitive closure of the
+	// active set (dist rows are closed — no fixpoint iteration needed).
 	var active uint64
 	for s := range x.shards {
 		if x.nextAt[s] < end {
 			quiet = false
-			active |= 1 << s
+			active |= x.reach[s]
 		}
 	}
 	if quiet {
@@ -766,21 +773,8 @@ func (x *Exec) planStep(me int, end sim.Time) (quiet, reachable bool, bound sim.
 			bound, binder = b, prof.BindSelf
 		}
 	}
-	// Reachability of me from the active set (for the early-leave check).
-	for changed := true; changed; {
-		changed = false
-		for s := range x.shards {
-			if active&(1<<s) == 0 {
-				continue
-			}
-			for d, l := range x.dist[s] {
-				if l != infTime && active&(1<<d) == 0 {
-					active |= 1 << d
-					changed = true
-				}
-			}
-		}
-	}
+	// Reachability of me from the active set (for the early-leave check)
+	// is already encoded in the accumulated mask.
 	return false, active&(1<<me) != 0, bound, binder
 }
 

@@ -95,6 +95,14 @@ func buildScript(rng *rand.Rand, workers, events int) *script {
 // multiples for the residue scheme to hold. Worker→ctrl edges get
 // deliberately tiny latencies to exercise late control application.
 func buildScriptDist(rng *rand.Rand, workers, events int, dist [][]sim.Time) *script {
+	return buildScriptStride(rng, workers, events, dist, stride)
+}
+
+// buildScriptStride is buildScriptDist with the residue modulus as a
+// parameter: topologies with more than `stride` nodes need k >= workers
+// for node residues to stay distinct (and link latencies must then be
+// multiples of k).
+func buildScriptStride(rng *rand.Rand, workers, events int, dist [][]sim.Time, stride int) *script {
 	reach := make([][]int, workers)
 	for i := 0; i < workers; i++ {
 		for j := 0; j < workers; j++ {
@@ -124,13 +132,13 @@ func buildScriptDist(rng *rand.Rand, workers, events int, dist [][]sim.Time) *sc
 				if diff < 0 {
 					diff += stride
 				}
-				a.delay = dist[node][a.dst] + sim.Time(diff) + sim.Time(rng.Intn(8))*stride
+				a.delay = dist[node][a.dst] + sim.Time(diff) + sim.Time(rng.Intn(8)*stride)
 			case r == 3: // →ctrl, may undercut every lookahead
 				a.dst = workers
 				a.delay = sim.Time(rng.Intn(60) + 1)
 			default: // local follow-up, residue-preserving delay
 				a.dst = node
-				a.delay = sim.Time(rng.Intn(30)+1) * stride
+				a.delay = sim.Time((rng.Intn(30) + 1) * stride)
 			}
 			a.child = grow(a.dst, depth+1)
 			s.acts[me] = append(s.acts[me], a)
@@ -146,7 +154,7 @@ func buildScriptDist(rng *rand.Rand, workers, events int, dist [][]sim.Time) *sc
 			// the roots on (at, schedAt) and resolve by rank — the one
 			// residual ambiguity of composite keys, deliberately excluded
 			// from this exact-match oracle.
-			at := sim.Time(rng.Intn(200)+1)*stride + sim.Time(n)
+			at := sim.Time((rng.Intn(200)+1)*stride) + sim.Time(n)
 			s.roots = append(s.roots, action{dst: n, delay: at, child: root})
 		}
 	}
@@ -186,7 +194,7 @@ func newRunnerTopo(s *script, workers int, topo *par.Topology) *runner {
 			w = append(w, e)
 		}
 		ctrl := sim.NewEngine()
-		ctrl.SetRank(3)
+		ctrl.SetRank(workers)
 		r.engines = append(w, ctrl)
 		r.x = par.New(ctrl, w, *topo)
 	}
@@ -546,4 +554,117 @@ func TestSendLookaheadViolationPanics(t *testing.T) {
 	}()
 	x.AdvanceTo(100)
 	t.Fatal("expected panic")
+}
+
+// The cluster runner's shape: worker 0 is a hub (shared ingress), workers
+// 1..N are leaves (server groups), and the only declared links are
+// hub<->leaf with randomized, possibly asymmetric per-leaf latencies.
+// Leaf->leaf paths exist only through the closure (up one spoke, down
+// another). Randomized scripts over these stars must match the
+// single-engine oracle exactly at every fleet size.
+func TestStarTopologyMatchesSerialOracle(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		leaves := 4 + rng.Intn(9) // 5..13 workers including the hub
+		w := leaves + 1
+		k := w // residue modulus; link latencies are multiples of k
+		topo := par.Topology{Workers: w}
+		dist := make([][]sim.Time, w)
+		for i := range dist {
+			dist[i] = make([]sim.Time, w)
+			for j := range dist[i] {
+				if i != j {
+					dist[i][j] = noPath
+				}
+			}
+		}
+		for l := 1; l < w; l++ {
+			down := sim.Time(k * (3 + rng.Intn(12)))
+			up := sim.Time(k * (3 + rng.Intn(12)))
+			topo.Links = append(topo.Links,
+				par.Link{Src: 0, Dst: l, Latency: down},
+				par.Link{Src: l, Dst: 0, Latency: up})
+			dist[0][l] = down
+			dist[l][0] = up
+		}
+		closure(dist)
+		s := buildScriptStride(rng, w, 260, dist, k)
+		ser := newRunnerTopo(s, w, nil)
+		ser.run(6000)
+		pp := newRunnerTopo(s, w, &topo)
+		pp.run(6000)
+		for n := range ser.logs {
+			if !reflect.DeepEqual(ser.logs[n], pp.logs[n]) {
+				t.Fatalf("seed %d (%d leaves) node %d:\nserial   %v\nparallel %v",
+					seed, leaves, n, ser.logs[n], pp.logs[n])
+			}
+		}
+		for src, row := range pp.x.ObservedSlack() {
+			for dst, sl := range row {
+				if dst < w && sl >= 0 && sl < dist[src][dst] {
+					t.Fatalf("seed %d: observed slack %v on %d→%d below declared %v",
+						seed, sl, src, dst, dist[src][dst])
+				}
+			}
+		}
+	}
+}
+
+// A star with one unreachable leaf: the last leaf declares only its
+// up-link (leaf->hub), so no active LP has a path to it. With no pending
+// events of its own it must be parked by the coordinator every round —
+// early latch leave, no plan participation — while the hub keeps ticking
+// the other leaves and every clock still tracks the horizon.
+func TestStarUnreachableLeafEarlyLeave(t *testing.T) {
+	const leaves = 4
+	w := leaves + 1
+	var engines []*sim.Engine
+	for n := 0; n < w; n++ {
+		e := sim.NewEngine()
+		e.SetRank(n)
+		engines = append(engines, e)
+	}
+	ctrl := sim.NewEngine()
+	ctrl.SetRank(w)
+	topo := par.Topology{Workers: w}
+	for l := 1; l < w; l++ {
+		topo.Links = append(topo.Links, par.Link{Src: l, Dst: 0, Latency: 64})
+		if l < w-1 { // the last leaf has no down-link: unreachable
+			topo.Links = append(topo.Links, par.Link{Src: 0, Dst: l, Latency: 64})
+		}
+	}
+	x := par.New(ctrl, engines, topo)
+	hub := engines[0]
+	got := make([]int, w)
+	var tick func(any, int64)
+	tick = func(any, int64) {
+		for l := 1; l < w-1; l++ {
+			dst := l
+			x.Send(0, dst, hub.Now()+64, hub.AllocSeq(),
+				func(any, int64) { got[dst]++ }, nil, 0)
+		}
+		if hub.Now() < 900 {
+			hub.AtCall(hub.Now()+100, tick, nil, 0)
+		}
+	}
+	hub.AtCall(100, tick, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	x.AdvanceTo(2000)
+	for l := 1; l < w-1; l++ {
+		if got[l] != 9 {
+			t.Fatalf("leaf %d received %d ticks, want 9", l, got[l])
+		}
+	}
+	if got[w-1] != 0 {
+		t.Fatalf("unreachable leaf received %d ticks", got[w-1])
+	}
+	for n, e := range engines {
+		if e.Now() != 2000 {
+			t.Fatalf("engine %d clock = %v, want parked at 2000", n, e.Now())
+		}
+	}
+	if ctrl.Now() != 2000 {
+		t.Fatalf("ctrl clock = %v, want 2000", ctrl.Now())
+	}
 }

@@ -20,27 +20,31 @@ import (
 //
 // The default WriteTrace output stays byte-identical across engines; this
 // writer is the profiled variant and its output is per-shard-count by
-// construction (a serial run has no recorder lanes).
+// construction (a serial run has no recorder lanes). t may be nil — a
+// cluster run records per-server LP lanes without packet tracing — in
+// which case the document holds only the recorder's lanes.
 func WriteProfTrace(w io.Writer, t *Tracer, r *prof.Recorder) error {
 	// profPid separates the recorder's LP lanes from the packet lanes
 	// (pid 1, same tids as WriteTrace).
 	const profPid = 2
 
 	doc := chromeTrace{DisplayTimeUnit: "ns"}
-	for tid := StationID(0); tid < numStations; tid++ {
-		name := tid.String()
-		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
-			Name: "thread_name", Cat: "__metadata", Ph: "M",
-			Pid: 1, Tid: int(tid),
-			Args: chromeArgs{Name: &name},
-		})
-	}
-	for i := 0; i < t.Len(); i++ {
-		ev := t.At(i).chrome()
-		if lp := t.OriginLane(i); lp != "" {
-			ev.Args = profPktArgs{chromeArgs: ev.Args.(chromeArgs), LP: lp}
+	if t != nil {
+		for tid := StationID(0); tid < numStations; tid++ {
+			name := tid.String()
+			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+				Name: "thread_name", Cat: "__metadata", Ph: "M",
+				Pid: 1, Tid: int(tid),
+				Args: chromeArgs{Name: &name},
+			})
 		}
-		doc.TraceEvents = append(doc.TraceEvents, ev)
+		for i := 0; i < t.Len(); i++ {
+			ev := t.At(i).chrome()
+			if lp := t.OriginLane(i); lp != "" {
+				ev.Args = profPktArgs{chromeArgs: ev.Args.(chromeArgs), LP: lp}
+			}
+			doc.TraceEvents = append(doc.TraceEvents, ev)
+		}
 	}
 
 	if r != nil {
