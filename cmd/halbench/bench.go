@@ -330,7 +330,9 @@ func printBenchProf(opt experiments.Options, runDur sim.Time) error {
 // if any ns/op grew beyond tol (the -baseline-tolerance flag, as a
 // fraction). Allocation growth on the pinned-zero benchmarks is always a
 // failure — the zero-alloc hot path is a correctness property here, not a
-// performance preference.
+// performance preference — and /shardsN rows additionally gate allocs/op
+// growth beyond tol, so the pooled cross-LP path can't silently regress
+// behind wall-clock noise.
 func compareBaseline(cur benchSnapshot, baselinePath string, tol float64) error {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
@@ -402,8 +404,19 @@ func compareBaseline(cur benchSnapshot, baselinePath string, tol float64) error 
 		allocNote := ""
 		if r.AllocsPerOp != b.AllocsPerOp {
 			allocNote = fmt.Sprintf("  allocs %d -> %d", b.AllocsPerOp, r.AllocsPerOp)
-			if b.AllocsPerOp == 0 && r.AllocsPerOp > 0 {
+			switch {
+			case b.AllocsPerOp == 0 && r.AllocsPerOp > 0:
 				regressed = append(regressed, fmt.Sprintf("%s allocs/op 0 -> %d", r.Name, r.AllocsPerOp))
+				mark = "  <-- REGRESSION"
+			case strings.Contains(r.Name, "/shards") && float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol):
+				// Sharded rows gate allocation growth too, at the same
+				// tolerance as ns/op: the cross-LP path is pooled, so a
+				// sharded row's allocs/op is a budget — when it balloons,
+				// something stopped reusing (outbox slabs, plan buffers,
+				// payload banking), which wall time on a noisy runner can
+				// hide.
+				regressed = append(regressed, fmt.Sprintf("%s allocs/op %d -> %d (>%+.0f%%)",
+					r.Name, b.AllocsPerOp, r.AllocsPerOp, tol*100))
 				mark = "  <-- REGRESSION"
 			}
 		}

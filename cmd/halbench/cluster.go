@@ -16,9 +16,9 @@ import (
 )
 
 // runClusterSuite measures the fleet-scale sentinels: a whole HAL fleet
-// (64 servers, and 256 without -quick) behind one shared ingress with p2c
-// dispatch, timed once on the serial engine and once on the parallel
-// engine. Serial and /shardsN rows live in ONE snapshot, so the fleet
+// (64 servers; 256 and a podded 1024 without -quick) behind one shared
+// ingress with p2c dispatch, timed once on the serial engine and once on
+// the parallel engine. Serial and /shardsN rows live in ONE snapshot, so the fleet
 // speedup — the headline of the cluster work — is read off a single
 // BENCH_cluster.json, never by diffing two files taken under different
 // conditions. The shard count comes from -shards; with none given the
@@ -38,14 +38,15 @@ func runClusterSuite(opt experiments.Options, quick bool, repeat int, tol float6
 		dur = 2 * sim.Millisecond
 	}
 
-	fleetBench := func(servers int, rate float64, sh int) func(b *testing.B) {
+	fleetBench := func(servers, pods int, rate float64, sh int, d sim.Time) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				res, err := cluster.Run(
 					server.Config{Mode: server.HAL, Fn: nf.NAT, Seed: opt.Seed, Shards: sh,
-						Cluster: &server.ClusterConfig{Servers: servers, Dispatch: "p2c"}},
-					server.RunConfig{Duration: dur, RateGbps: rate})
+						Cluster: &server.ClusterConfig{Servers: servers, Dispatch: "p2c",
+							Pods: pods, Oversub: 4}},
+					server.RunConfig{Duration: d, RateGbps: rate})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -55,19 +56,29 @@ func runClusterSuite(opt experiments.Options, quick bool, repeat int, tol float6
 			}
 		}
 	}
-	fleets := []int{64}
-	if !quick {
-		fleets = append(fleets, 256)
+	type fleetRow struct {
+		servers, pods int
+		dur           sim.Time
 	}
+	// Fleet1024 runs the two-tier pod fabric (8 pods, 4:1 oversubscribed
+	// uplinks) over a shorter window so the non-quick suite stays minutes,
+	// not tens of minutes; the flat-star sentinels keep their durations so
+	// rows stay comparable against older baselines.
+	rows := []fleetRow{{64, 0, dur}}
+	if !quick {
+		rows = append(rows, fleetRow{256, 0, dur}, fleetRow{1024, 8, sim.Millisecond})
+	}
+	fleets := make([]int, 0, len(rows))
 	var benches []namedBench
-	for _, n := range fleets {
+	for _, fr := range rows {
+		fleets = append(fleets, fr.servers)
 		// Aggregate offered load scales with the fleet so per-server load
 		// stays constant (6.25 Gbps each): the serial/parallel delta then
 		// measures the engine, not a changing work mix.
-		rate := 6.25 * float64(n)
+		rate := 6.25 * float64(fr.servers)
 		benches = append(benches,
-			namedBench{fmt.Sprintf("Fleet%d/serial", n), fleetBench(n, rate, 0)},
-			namedBench{fmt.Sprintf("Fleet%d/shards%d", n, shards), fleetBench(n, rate, shards)})
+			namedBench{fmt.Sprintf("Fleet%d/serial", fr.servers), fleetBench(fr.servers, fr.pods, rate, 0, fr.dur)},
+			namedBench{fmt.Sprintf("Fleet%d/shards%d", fr.servers, shards), fleetBench(fr.servers, fr.pods, rate, shards, fr.dur)})
 	}
 
 	snap := benchSnapshot{

@@ -63,9 +63,12 @@ func main() {
 		useCXL   = flag.Bool("cxl", false, "attach the SNIC over CXL (coherent shared state)")
 
 		servers  = flag.Int("servers", 0, "fleet size: run N full servers behind one shared ingress and a modeled ToR fabric (0 = single server)")
-		dispatch = flag.String("dispatch", "rr", "fleet ingress dispatch: rr | p2c (with -servers)")
+		dispatch = flag.String("dispatch", "rr", "fleet ingress dispatch: rr | p2c | least-conn (with -servers)")
 		wireLat  = flag.Duration("wire", 2*time.Microsecond, "one-way ToR wire+switch latency (with -servers)")
 		linkGbps = flag.Float64("link-gbps", 100, "per-server fabric link bandwidth in Gbps (with -servers)")
+		pods     = flag.Int("pods", 0, "split the fleet into N pods behind oversubscribable ToR uplinks (0/1 = flat star; with -servers)")
+		oversub  = flag.Float64("oversub", 1, "pod uplink oversubscription ratio (with -pods)")
+		spineLat = flag.Duration("spine-wire", 0, "one-way spine wire+switch latency between ingress and pod ToRs (default: -wire; with -pods)")
 		slbCores = flag.Int("slb-cores", 4, "SLB forwarding cores (slb mode)")
 		slbTh    = flag.Float64("slb-th", 20, "SLB FwdTh in Gbps (slb mode)")
 		function = flag.Bool("functional", false, "execute the real network function per packet")
@@ -169,10 +172,13 @@ func main() {
 			usageErr("-fault drives a single server; fleet runs take server-crash events from a scenario file")
 		}
 		cfg.Cluster = &server.ClusterConfig{
-			Servers:  *servers,
-			Dispatch: strings.ToLower(*dispatch),
-			WireNS:   sim.Duration(*wireLat),
-			LinkGbps: *linkGbps,
+			Servers:     *servers,
+			Dispatch:    strings.ToLower(*dispatch),
+			WireNS:      sim.Duration(*wireLat),
+			LinkGbps:    *linkGbps,
+			Pods:        *pods,
+			Oversub:     *oversub,
+			SpineWireNS: sim.Duration(*spineLat),
 		}
 		// Bad flag values (fleet size, dispatch policy, negative wire/link)
 		// are usage errors like any other flag, not runtime failures.

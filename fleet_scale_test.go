@@ -1,0 +1,61 @@
+package halsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"halsim"
+)
+
+// fleetLine formats the determinism-relevant numeric fields of a fleet
+// Result (everything except the engine label and wall-clock metadata).
+func fleetLine(res halsim.Result) string {
+	return fmt.Sprintf("sent=%d completed=%d sentAll=%d completedAll=%d droppedAll=%d inflight=%d avg=%v max=%v p50=%v p99=%v p999=%v power=%v eff=%v",
+		res.Sent, res.Completed, res.SentAll, res.CompletedAll, res.DroppedAll, res.InFlightEnd,
+		res.AvgGbps, res.MaxGbps, res.P50us, res.P99us, res.P999us, res.AvgPowerW, res.EffGbpsPerW)
+}
+
+// TestClusterShardClamping pins the worker-cap boundary of the fleet
+// partition: a shard request the fleet can't host is clamped — to one
+// group per server on small fleets, to the executor's 254-group ceiling
+// on large ones — and the clamped run must still be byte-identical to the
+// serial engine. The 300-server case lands exactly ON the ceiling (255
+// worker LPs, the widened executor's maximum); the 254-server case
+// partitions at exactly groups == maxGroups with no surplus.
+func TestClusterShardClamping(t *testing.T) {
+	cases := []struct {
+		name    string
+		servers int
+		shards  int
+		pods    int
+	}{
+		// Surplus shards on a small fleet: groups clamp to servers.
+		{"fleet6-shards50", 6, 50, 0},
+		// One past every ceiling: 600 shards ask for 599 groups, the
+		// executor caps at 254 (= 255 workers with the ingress).
+		{"fleet300-shards600", 300, 600, 3},
+		// Exactly at the cap: 255 shards = 254 groups, no clamping.
+		{"fleet254-shards255", 254, 255, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func(shards int) string {
+				res, err := halsim.Run(
+					halsim.Config{Mode: halsim.HAL, Fn: halsim.NAT, Seed: 11, Shards: shards,
+						Cluster: &halsim.ClusterConfig{Servers: tc.servers, Pods: tc.pods, Oversub: 4}},
+					halsim.RunConfig{Duration: halsim.Millisecond, RateGbps: float64(tc.servers)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if shards > 1 && res.Engine != "parallel" {
+					t.Fatalf("shards=%d fell back to engine %q", shards, res.Engine)
+				}
+				return fleetLine(res)
+			}
+			serial, clamped := run(0), run(tc.shards)
+			if serial != clamped {
+				t.Fatalf("clamped run diverged from serial:\nserial  %s\nclamped %s", serial, clamped)
+			}
+		})
+	}
+}

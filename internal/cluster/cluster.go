@@ -24,8 +24,9 @@ import (
 )
 
 // maxGroups keeps worker count (groups + ingress) within the executor's
-// bitmask/rank budget.
-const maxGroups = 62
+// worker cap and the engine's eight-bit rank budget: ranks 1..groups+1
+// for the LPs plus rank 0 for the control engine must all stay below 256.
+const maxGroups = 254
 
 // seedStride spaces per-server RNG streams: server i runs with the base
 // seed offset by (i+1)*seedStride, so no two servers (or the ingress,
@@ -78,6 +79,7 @@ type crun struct {
 	tickers     []*sim.Ticker
 	reqCalls    []sim.Call
 	respCall    sim.Call
+	upCall      sim.Call
 
 	// Cluster-owned telemetry (ctrl tick at barriers).
 	col        *telemetry.Collector
@@ -152,10 +154,18 @@ func (c *crun) build() error {
 			c.engs = append(c.engs, e)
 			c.pools = append(c.pools, packet.NewPool())
 		}
+		// Downstream messages cross the spine wire too when the fleet is
+		// podded, so that direction declares the wider (tighter-lookahead-
+		// for-free) latency; upstream the pod uplink is resolved at the
+		// ingress, so only the ToR wire is declared.
+		downLat := c.cc.WireNS
+		if c.cc.Pods > 1 {
+			downLat += c.cc.SpineWireNS
+		}
 		topo := par.Topology{Workers: c.groups + 1}
 		for g := 1; g <= c.groups; g++ {
 			topo.Links = append(topo.Links,
-				par.Link{Src: 0, Dst: g, Latency: c.cc.WireNS},
+				par.Link{Src: 0, Dst: g, Latency: downLat},
 				par.Link{Src: g, Dst: 0, Latency: c.cc.WireNS})
 		}
 		c.x = par.New(c.ctrl, c.engs, topo)
@@ -189,7 +199,13 @@ func (c *crun) build() error {
 	// Server instances. Each gets its own seed spacing and — when crashed
 	// — a private fault plan driving both-side Rx blackout windows.
 	c.grpOf = make([]int, n)
-	c.fab = newFabric(n, c.cc.WireNS, c.cc.LinkGbps)
+	c.fab = newFabric(n, clusterShape{
+		wireNS:      c.cc.WireNS,
+		spineWireNS: c.cc.SpineWireNS,
+		linkGbps:    c.cc.LinkGbps,
+		pods:        c.cc.Pods,
+		oversub:     c.cc.Oversub,
+	})
 	c.reqCalls = make([]sim.Call, n)
 	for i := 0; i < n; i++ {
 		g := groupOf(i, n, c.groups)
@@ -229,6 +245,15 @@ func (c *crun) build() error {
 	c.respPkts = make([]uint64, n)
 	c.lat = stats.NewHistogram()
 	c.respCall = func(a any, _ int64) { c.deliver(a.(*packet.Packet)) }
+	// upCall finishes a podded response's trip at the ingress: it fires
+	// at the ToR-arrival instant, serializes the frame onto the pod's
+	// upstream uplink (podUpFree is ingress-owned — a pod can span
+	// several group LPs) and schedules the final delivery.
+	c.upCall = func(a any, srv int64) {
+		p := a.(*packet.Packet)
+		arr := c.fab.podUp(int(srv), c.engs[0].Now(), p.WireLen)
+		c.engs[0].AtCall(arr, c.respCall, p, 0)
+	}
 	if len(c.rc.PhaseMarks) > 0 {
 		bounds := append([]sim.Time{0}, c.rc.PhaseMarks...)
 		bounds = append(bounds, c.rc.Duration)
@@ -390,15 +415,22 @@ func (c *crun) dispatch(p *packet.Packet, at sim.Time) {
 
 // respond carries a finished response from server srv (running on worker
 // wkr) back over the fabric's up-link to the ingress. Runs on the
-// server's engine at the response's egress instant.
+// server's engine at the response's egress instant. In a podded fleet the
+// server link only reaches the pod ToR; the pod-uplink serialization then
+// runs as an ingress event (upCall) so its shared freeAt state has a
+// single owner.
 func (c *crun) respond(srv, wkr int, p *packet.Packet) {
 	eng := c.engs[wkr]
 	arr := c.fab.up(srv, eng.Now(), p.WireLen)
+	call, n := c.respCall, int64(0)
+	if c.fab.pods > 1 {
+		call, n = c.upCall, int64(srv)
+	}
 	if c.x == nil {
-		eng.AtCall(arr, c.respCall, p, 0)
+		eng.AtCall(arr, call, p, n)
 		return
 	}
-	c.x.Send(wkr, 0, arr, eng.AllocSeq(), c.respCall, p, 0)
+	c.x.Send(wkr, 0, arr, eng.AllocSeq(), call, p, n)
 }
 
 // deliver closes one round trip at the ingress: latency and throughput

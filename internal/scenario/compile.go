@@ -88,10 +88,13 @@ func (s *Scenario) Compile(ov Overrides) (*Compiled, error) {
 	}
 	if r.Cluster != nil {
 		c.Cfg.Cluster = &server.ClusterConfig{
-			Servers:  r.Cluster.Servers,
-			Dispatch: r.Cluster.Dispatch,
-			WireNS:   r.Cluster.Wire,
-			LinkGbps: r.Cluster.LinkGbps,
+			Servers:     r.Cluster.Servers,
+			Dispatch:    r.Cluster.Dispatch,
+			WireNS:      r.Cluster.Wire,
+			LinkGbps:    r.Cluster.LinkGbps,
+			Pods:        r.Cluster.Pods,
+			Oversub:     r.Cluster.Oversub,
+			SpineWireNS: r.Cluster.SpineWire,
 		}
 	}
 

@@ -102,10 +102,13 @@ type TelemetrySpec struct {
 
 // ClusterSpec is the scenario's `run.cluster` block.
 type ClusterSpec struct {
-	Servers  int
-	Dispatch string   // "" (rr) | rr | p2c
-	Wire     sim.Time // one-way ToR latency (0 = default 2µs)
-	LinkGbps float64  // per-server link bandwidth (0 = default 100)
+	Servers   int
+	Dispatch  string   // "" (rr) | rr | p2c | least-conn
+	Wire      sim.Time // one-way ToR latency (0 = default 2µs)
+	LinkGbps  float64  // per-server link bandwidth (0 = default 100)
+	Pods      int      // pods behind ToR uplinks (0/1 = flat star)
+	Oversub   float64  // pod uplink oversubscription ratio (0 = 1)
+	SpineWire sim.Time // one-way ingress->ToR spine latency (0 = Wire)
 }
 
 // EventSpec is one timed fault window of the scenario.
@@ -390,7 +393,7 @@ func (s *Scenario) parseRun(n *yaml.Node) error {
 		}
 	}
 	if v := n.Get("cluster"); v != nil {
-		if err := checkKeys(v, "run.cluster", "servers", "dispatch", "wire", "link_gbps"); err != nil {
+		if err := checkKeys(v, "run.cluster", "servers", "dispatch", "wire", "link_gbps", "pods", "oversub", "spine_wire"); err != nil {
 			return err
 		}
 		cl := &ClusterSpec{}
@@ -408,8 +411,8 @@ func (s *Scenario) parseRun(n *yaml.Node) error {
 				return errf("run.cluster.dispatch: %v", err)
 			}
 			cl.Dispatch = strings.ToLower(cl.Dispatch)
-			if cl.Dispatch != "rr" && cl.Dispatch != "p2c" {
-				return errf("run.cluster.dispatch: line %d: want rr or p2c, have %q", d.Line, cl.Dispatch)
+			if cl.Dispatch != "rr" && cl.Dispatch != "p2c" && cl.Dispatch != "least-conn" {
+				return errf("run.cluster.dispatch: line %d: want rr, p2c or least-conn, have %q", d.Line, cl.Dispatch)
 			}
 		}
 		if w := v.Get("wire"); w != nil {
@@ -420,6 +423,23 @@ func (s *Scenario) parseRun(n *yaml.Node) error {
 		if g := v.Get("link_gbps"); g != nil {
 			if cl.LinkGbps, err = g.Float(); err != nil {
 				return errf("run.cluster.link_gbps: %v", err)
+			}
+		}
+		if p := v.Get("pods"); p != nil {
+			np, err := p.Int64()
+			if err != nil {
+				return errf("run.cluster.pods: %v", err)
+			}
+			cl.Pods = int(np)
+		}
+		if o := v.Get("oversub"); o != nil {
+			if cl.Oversub, err = o.Float(); err != nil {
+				return errf("run.cluster.oversub: %v", err)
+			}
+		}
+		if sw := v.Get("spine_wire"); sw != nil {
+			if cl.SpineWire, err = dur(sw, "run.cluster.spine_wire"); err != nil {
+				return err
 			}
 		}
 		r.Cluster = cl
@@ -600,8 +620,14 @@ func (s *Scenario) Validate() error {
 		}
 	}
 	if r.Cluster != nil {
-		if r.Cluster.Servers < 1 || r.Cluster.Servers > 256 {
-			return errf("run.cluster.servers: %d outside 1..256", r.Cluster.Servers)
+		if r.Cluster.Servers < 1 || r.Cluster.Servers > 4096 {
+			return errf("run.cluster.servers: %d outside 1..4096", r.Cluster.Servers)
+		}
+		if r.Cluster.Pods < 0 || r.Cluster.Pods > r.Cluster.Servers {
+			return errf("run.cluster.pods: %d outside 0..servers (%d)", r.Cluster.Pods, r.Cluster.Servers)
+		}
+		if r.Cluster.Oversub < 0 {
+			return errf("run.cluster.oversub: negative ratio")
 		}
 		if s.Chaos != nil {
 			return errf("chaos: not supported with run.cluster (chaos draws single-server faults)")

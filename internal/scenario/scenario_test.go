@@ -588,3 +588,111 @@ chaos:
 		}
 	}
 }
+
+const podDoc = `
+name: pod-smoke
+description: small podded fleet
+run:
+  mode: hal
+  fn: NAT
+  rate_gbps: 80
+  duration: 2ms
+  seed: 5
+  drain: true
+  cluster:
+    servers: 8
+    dispatch: least-conn
+    wire: 2us
+    link_gbps: 100
+    pods: 2
+    oversub: 2
+    spine_wire: 3us
+assertions:
+  - metric: conservation
+    op: ==
+    value: closed
+`
+
+// TestClusterPodScenario lowers the pod-fabric keys (pods, oversub,
+// spine_wire) and the least-conn dispatch policy into ClusterConfig, and
+// checks a podded fleet renders byte-identical reports serial vs sharded
+// — the two-tier fabric must not break the determinism pledge.
+func TestClusterPodScenario(t *testing.T) {
+	s, err := Parse([]byte(podDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := s.Compile(Overrides{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := c.Cfg.Cluster
+	if cl == nil {
+		t.Fatal("run.cluster did not lower to Config.Cluster")
+	}
+	if cl.Pods != 2 || cl.Oversub != 2 || cl.SpineWireNS != 3000 || cl.Dispatch != "least-conn" {
+		t.Fatalf("pod fabric lowered wrong: %+v", cl)
+	}
+	render := func(shards int) string {
+		s, err := Parse([]byte(podDoc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		o, err := s.Execute(Overrides{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !o.Passed {
+			t.Fatal("pod scenario failed its assertions")
+		}
+		var md bytes.Buffer
+		if err := o.WriteMarkdown(&md); err != nil {
+			t.Fatal(err)
+		}
+		return md.String()
+	}
+	if md0, md4 := render(0), render(4); md0 != md4 {
+		t.Errorf("podded fleet markdown reports differ between serial and shards=4:\n--- serial\n%s\n--- shards=4\n%s", md0, md4)
+	}
+}
+
+// TestClusterPodValidation exercises the pod-fabric rejections.
+func TestClusterPodValidation(t *testing.T) {
+	bad := []struct{ doc, want string }{
+		{`
+name: x
+run:
+  rate_gbps: 10
+  duration: 2ms
+  cluster:
+    servers: 4
+    pods: 9
+`, "pods"},
+		{`
+name: x
+run:
+  rate_gbps: 10
+  duration: 2ms
+  cluster:
+    servers: 4
+    oversub: -1
+`, "oversub"},
+		{`
+name: x
+run:
+  rate_gbps: 10
+  duration: 2ms
+  cluster:
+    servers: 5000
+`, "servers"},
+	}
+	for i, tc := range bad {
+		_, err := Parse([]byte(tc.doc))
+		if err == nil {
+			t.Fatalf("case %d: bad scenario parsed cleanly", i)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("case %d: error %q does not mention %q", i, err, tc.want)
+		}
+	}
+}

@@ -19,19 +19,32 @@ import (
 // shared ingress. It is pure data so Config can carry it without the
 // server package depending on the cluster runner.
 type ClusterConfig struct {
-	// Servers is the fleet size (1..256).
+	// Servers is the fleet size (1..4096).
 	Servers int
 	// Dispatch picks the ingress dispatch policy: "rr" (round-robin,
-	// the default) or "p2c" (power-of-two-choices over in-flight
-	// counts).
+	// the default), "p2c" (power-of-two-choices over in-flight counts)
+	// or "least-conn" (argmin over in-flight counts, lowest index wins
+	// ties).
 	Dispatch string
 	// WireNS is the one-way ToR wire+switch latency between the ingress
-	// and any server. Defaults to 2µs. It is also the fleet's lookahead:
-	// every cross-LP message travels at least one wire.
+	// (or, with pods, the pod's ToR) and any server. Defaults to 2µs. It
+	// is also the fleet's lookahead: every cross-LP message travels at
+	// least one wire.
 	WireNS sim.Time
 	// LinkGbps is the per-server link bandwidth used for serialization
 	// delay on both directions. Defaults to 100.
 	LinkGbps float64
+	// Pods splits the fleet into contiguous pods behind ToR uplinks
+	// (two-tier pod/ToR/spine fabric). 0 or 1 keeps the flat star.
+	Pods int
+	// Oversub is the pod uplink oversubscription ratio: each pod's
+	// uplink carries (servers-per-pod × LinkGbps) / Oversub. Defaults
+	// to 1 (non-blocking). Only meaningful with Pods >= 2.
+	Oversub float64
+	// SpineWireNS is the one-way spine wire+switch latency between the
+	// ingress and any pod ToR. Defaults to WireNS. Only meaningful with
+	// Pods >= 2.
+	SpineWireNS sim.Time
 	// Crashes schedules whole-server blackouts: for the window [At,
 	// At+For) every packet reaching server Server's rings — either side
 	// — is dropped, as if the NIC lost link. The server's own clock,
@@ -48,15 +61,15 @@ type ServerCrash struct {
 // WithDefaults validates the cluster config against a run of duration d
 // and fills defaults.
 func (c ClusterConfig) WithDefaults(d sim.Time) (ClusterConfig, error) {
-	if c.Servers < 1 || c.Servers > 256 {
-		return c, fmt.Errorf("cluster: %d servers outside 1..256", c.Servers)
+	if c.Servers < 1 || c.Servers > 4096 {
+		return c, fmt.Errorf("cluster: %d servers outside 1..4096", c.Servers)
 	}
 	switch c.Dispatch {
 	case "":
 		c.Dispatch = "rr"
-	case "rr", "p2c":
+	case "rr", "p2c", "least-conn":
 	default:
-		return c, fmt.Errorf("cluster: unknown dispatch policy %q (want rr or p2c)", c.Dispatch)
+		return c, fmt.Errorf("cluster: unknown dispatch policy %q (want rr, p2c or least-conn)", c.Dispatch)
 	}
 	if c.WireNS == 0 {
 		c.WireNS = 2 * sim.Microsecond
@@ -69,6 +82,24 @@ func (c ClusterConfig) WithDefaults(d sim.Time) (ClusterConfig, error) {
 	}
 	if c.LinkGbps < 0 {
 		return c, fmt.Errorf("cluster: negative link bandwidth")
+	}
+	if c.Pods == 0 {
+		c.Pods = 1
+	}
+	if c.Pods < 1 || c.Pods > c.Servers {
+		return c, fmt.Errorf("cluster: %d pods outside 1..servers (%d)", c.Pods, c.Servers)
+	}
+	if c.Oversub == 0 {
+		c.Oversub = 1
+	}
+	if c.Oversub < 0 {
+		return c, fmt.Errorf("cluster: negative oversubscription ratio")
+	}
+	if c.SpineWireNS == 0 {
+		c.SpineWireNS = c.WireNS
+	}
+	if c.SpineWireNS < 0 {
+		return c, fmt.Errorf("cluster: negative spine wire latency")
 	}
 	for _, cr := range c.Crashes {
 		if cr.Server < 0 || cr.Server >= c.Servers {

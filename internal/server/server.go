@@ -949,15 +949,27 @@ func (r *run) complete(p *packet.Packet, onSNIC bool) {
 		acc.sideB += uint64(p.WireLen)
 	}
 	// Response: src is the processing side; the merger fixes host
-	// responses up before the wire.
-	resp := pool.Get(snicAddr, clientAddr, 9000, uint16(4000+p.ID%1000), nil)
+	// responses up before the wire. The request's payload buffer rides
+	// along empty — in an embedded server that carries the buffer back to
+	// the ingress pool that allocated it (requests flow ingress->server,
+	// responses server->ingress; without the ride-along every buffer
+	// strands in a server-side pool and the ingress allocates a fresh one
+	// per request). WireLen stays the explicit 128 below: reset clamps a
+	// zero-length payload to the 64-byte minimum frame either way.
+	buf := p.Payload
+	p.Payload = nil
+	if buf != nil {
+		buf = buf[:0]
+	}
+	resp := pool.Get(snicAddr, clientAddr, 9000, uint16(4000+p.ID%1000), buf)
 	if !onSNIC {
 		resp.SrcIP, resp.SrcMAC = hostAddr.IP, hostAddr.MAC
 	}
 	resp.ID = p.ID
 	resp.CreatedAt = p.CreatedAt
 	resp.WireLen = 128
-	// The request is fully consumed; recycle it for a future arrival.
+	// The request struct is fully consumed; recycle it for a future
+	// arrival.
 	pool.Put(p)
 	egress := sim.Time(200) // serialization toward the wire
 	if !onSNIC {

@@ -54,12 +54,12 @@ func (t Time) String() string {
 type Call func(arg any, n int64)
 
 // Same-instant tie-break keys. A seq is not a plain counter but a composite
-// word — (schedule-time << 26) | (engine rank << 20) | (per-instant counter)
+// word — (schedule-time << 28) | (engine rank << 20) | (per-instant counter)
 // — so that keys drawn by different engines of a sharded run are mutually
 // comparable in one uint64 compare:
 //
-//	bits 63..26  the engine clock when the event was scheduled (schedAt)
-//	bits 25..20  the scheduling engine's rank (0 in a serial run)
+//	bits 63..28  the engine clock when the event was scheduled (schedAt)
+//	bits 27..20  the scheduling engine's rank (0 in a serial run)
 //	bits 19..0   schedules issued at that instant so far, reset on advance
 //
 // For a single engine this orders events exactly like the old monotone
@@ -68,16 +68,17 @@ type Call func(arg any, n int64)
 // the conservative-parallel engine (sim/par) it makes same-instant ordering
 // a pure function of when-and-where an event was scheduled, so events
 // received from another logical process merge into the destination wheel at
-// a deterministic position. The rank field is six bits wide so a
-// fleet-scale run can give every server group its own ranked engine (up to
-// 63 LPs plus control); the 38 bits left for schedAt still encode ~274
-// simulated seconds, far past any experiment, and the guards below reject
-// runs long or dense enough to overflow the fields. Widening the shift is
-// order-preserving for serial runs: keys remain strictly increasing in
-// schedule order, so pre-widening goldens are unaffected.
+// a deterministic position. The rank field is eight bits wide so a
+// thousand-server fleet can give every server group its own ranked engine
+// (up to 255 LPs plus control); the 36 bits left for schedAt still encode
+// ~68 simulated seconds, far past any experiment (runs are ms-scale), and
+// the guards below reject runs long or dense enough to overflow the fields.
+// Widening the shift is order-preserving for serial runs: keys remain
+// strictly increasing in schedule order, so pre-widening goldens are
+// unaffected.
 const (
 	seqCtrBits   = 20
-	seqRankBits  = 6
+	seqRankBits  = 8
 	seqTimeShift = seqCtrBits + seqRankBits
 	seqMaxCtr    = 1<<seqCtrBits - 1
 	seqMaxRank   = 1<<seqRankBits - 1
@@ -125,7 +126,7 @@ type Engine struct {
 func NewEngine() *Engine { return &Engine{} }
 
 // SetRank tags every seq key the engine draws with a logical-process rank
-// (0..63) so keys from different engines of a sharded run never collide.
+// (0..255) so keys from different engines of a sharded run never collide.
 // Call before scheduling anything; a serial engine keeps the default rank 0.
 func (e *Engine) SetRank(rank int) {
 	if rank < 0 || rank > seqMaxRank {

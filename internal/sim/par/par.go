@@ -102,10 +102,11 @@ const infTime = sim.Time(math.MaxInt64 / 4)
 // noEvent is the published horizon of an engine with an empty queue.
 const noEvent = sim.Time(math.MaxInt64)
 
-// maxWorkers bounds the worker count (participant sets are bitmasks, and
-// every worker engine needs a distinct seq-key rank below sim's six-bit
-// rank ceiling once the control engine takes one).
-const maxWorkers = 63
+// maxWorkers bounds the worker count: every worker engine needs a distinct
+// seq-key rank below sim's eight-bit rank ceiling once the control engine
+// takes one. Participant sets are multi-word bitsets, so the reachability
+// machinery itself no longer caps the fleet at a machine word.
+const maxWorkers = 255
 
 // Link is one directed edge of the LP graph: messages src→dst arrive no
 // earlier than Latency after the instant they are sent. Dst may be CtrlDst;
@@ -272,16 +273,19 @@ type Exec struct {
 	shards []*shard
 	ctrl   *sim.Engine
 	// dist is the all-pairs closure of declared link latencies; reach[i]
-	// is the bitmask of LPs transitively reachable from i (i included) —
-	// since dist is already a closure, that is exactly the finite entries
-	// of row i; cycle[i] is LP i's shortest round trip through any peer
-	// (the earliest one of its own sends can echo back — infTime when no
-	// return path exists); lookahead is the smallest finite dist entry
-	// (drain pacing).
-	dist      [][]sim.Time
-	reach     []uint64
-	cycle     []sim.Time
-	lookahead sim.Time
+	// is the multi-word bitset of LPs transitively reachable from i (i
+	// included) — since dist is already a closure, that is exactly the
+	// finite entries of row i; cycle[i] is LP i's shortest round trip
+	// through any peer (the earliest one of its own sends can echo back —
+	// infTime when no return path exists); lookahead is the smallest
+	// finite dist entry (drain pacing). maskWords is the bitset width;
+	// activeMask is the coordinator's reusable participant-set scratch.
+	dist       [][]sim.Time
+	reach      [][]uint64
+	maskWords  int
+	activeMask []uint64
+	cycle      []sim.Time
+	lookahead  sim.Time
 
 	b        sim.Time // current barrier time
 	ctrlPend []Msg    // undelivered control messages
@@ -305,9 +309,14 @@ type Exec struct {
 }
 
 // outboxKeepCap bounds the backing-array capacity an outbox or the control
-// pend queue retains after draining, so one bursty window does not pin a
-// huge Msg slab (and its Arg payloads' slots) for the rest of the run.
-const outboxKeepCap = 4096
+// pend queue retains after draining. Drained entries are always zeroed
+// (InjectBatch zeroes in place; the control paths zero explicitly), so a
+// retained slab pins no Arg payloads — only its own bytes — and freeing it
+// just to reallocate next round is pure churn. The cap is therefore set
+// high enough that fleet-scale rounds (a 1024-server ingress hands off
+// tens of thousands of packets per round) reuse their slabs steady-state;
+// only a pathological one-off burst beyond it is released to the GC.
+const outboxKeepCap = 1 << 20
 
 // New builds an executor over the given worker engines, the control
 // engine, and the declared LP graph. len(workers) must equal topo.Workers;
@@ -337,14 +346,18 @@ func New(ctrl *sim.Engine, workers []*sim.Engine, topo Topology) *Exec {
 			}
 		}
 	}
-	x.reach = make([]uint64, len(workers))
+	x.maskWords = (len(workers) + 63) / 64
+	x.activeMask = make([]uint64, x.maskWords)
+	x.reach = make([][]uint64, len(workers))
 	for i := range workers {
-		x.reach[i] = 1 << i
+		row := make([]uint64, x.maskWords)
+		row[i>>6] |= 1 << (uint(i) & 63)
 		for j, d := range dist[i] {
 			if d != infTime {
-				x.reach[i] |= 1 << j
+				row[j>>6] |= 1 << (uint(j) & 63)
 			}
 		}
+		x.reach[i] = row
 	}
 	x.cycle = make([]sim.Time, len(workers))
 	for i := range workers {
@@ -568,19 +581,25 @@ func (x *Exec) refreshNext() {
 	}
 }
 
-// activeClosure returns the bitmask of LPs that must participate in a
-// round ending at end: those with an event before end, plus every LP a
-// message originating in the set could transitively reach over declared
-// links. Everything outside the set provably neither executes nor receives
+// activeClosure fills the reusable participant bitset for a round ending
+// at end: LPs with an event before end, plus every LP a message
+// originating in the set could transitively reach over declared links.
+// Everything outside the set provably neither executes nor receives
 // before end and is parked coordinator-side without a handoff.
-func (x *Exec) activeClosure(end sim.Time) uint64 {
+func (x *Exec) activeClosure(end sim.Time) []uint64 {
 	// dist is an all-pairs closure, so reach[i] already holds everything
 	// transitively reachable from i: the closure of the seed set is a
-	// single OR pass, O(workers) instead of an iterated fixpoint.
-	var mask uint64
+	// single OR pass over bitset rows, no iterated fixpoint.
+	mask := x.activeMask
+	for w := range mask {
+		mask[w] = 0
+	}
 	for i := range x.shards {
 		if x.nextAt[i] < end {
-			mask |= x.reach[i]
+			row := x.reach[i]
+			for w := range mask {
+				mask[w] |= row[w]
+			}
 		}
 	}
 	return mask
@@ -594,7 +613,7 @@ func (x *Exec) round(end sim.Time) {
 	mask := x.activeClosure(end)
 	nparts := 0
 	for i, sh := range x.shards {
-		if mask&(1<<i) == 0 {
+		if mask[i>>6]&(1<<(uint(i)&63)) == 0 {
 			// Idle-shard parking: no events before end and unreachable
 			// from any LP that has them — advance the clock in place.
 			sh.eng.RunBefore(end)
@@ -737,45 +756,47 @@ func (x *Exec) arrive(lane *prof.Lane) {
 // participant reads the same latch-ordered array, so the quiesce/leave
 // verdicts agree.
 func (x *Exec) planStep(me int, end sim.Time) (quiet, reachable bool, bound sim.Time, binder int) {
-	quiet = true
-	// active accumulates reach[s] for every LP s with work left, so by the
-	// end of the horizon scan it is already the transitive closure of the
-	// active set (dist rows are closed — no fixpoint iteration needed).
-	var active uint64
-	for s := range x.shards {
-		if x.nextAt[s] < end {
-			quiet = false
-			active |= x.reach[s]
-		}
-	}
-	if quiet {
-		return true, false, end, prof.BindEnd
-	}
+	// One pass over the horizons computes everything: quiescence, the
+	// window bound, and whether any active LP reaches me. No bitset is
+	// needed shard-side — dist is an all-pairs closure, so "some active LP
+	// reaches me" is exactly "∃ active s with dist[s][me] finite" (or me
+	// itself being active), testable per source in the same loop that
+	// evaluates the bounds. That keeps the hot per-window path O(workers)
+	// with zero shared scratch, however wide the fleet grows.
+	//
 	// Window bound: a message from src is sent at or after src's horizon
 	// and arrives at least dist(src→me) later; quiet sources bound nothing
 	// before end. Transitive chains through peers are covered by the
 	// triangle inequality of the all-pairs closure; a chain seeded by MY
 	// OWN next event can echo back no earlier than one full round trip,
 	// hence the self term over cycle[me].
+	quiet = true
 	bound, binder = end, prof.BindEnd
 	for s := range x.shards {
-		if s == me || x.nextAt[s] >= end {
+		if x.nextAt[s] >= end {
+			continue
+		}
+		quiet = false
+		if s == me {
+			reachable = true // reach rows include self
 			continue
 		}
 		if d := x.dist[s][me]; d != infTime {
+			reachable = true
 			if b := x.nextAt[s] + d; b < bound {
 				bound, binder = b, s
 			}
 		}
+	}
+	if quiet {
+		return true, false, end, prof.BindEnd
 	}
 	if x.nextAt[me] < end && x.cycle[me] != infTime {
 		if b := x.nextAt[me] + x.cycle[me]; b < bound {
 			bound, binder = b, prof.BindSelf
 		}
 	}
-	// Reachability of me from the active set (for the early-leave check)
-	// is already encoded in the accumulated mask.
-	return false, active&(1<<me) != 0, bound, binder
+	return false, reachable, bound, binder
 }
 
 // injectInbound drains every peer outbox destined to shard me into my own

@@ -1,6 +1,7 @@
 package par_test
 
 import (
+	"fmt"
 	"math/rand"
 	"reflect"
 	"strings"
@@ -666,5 +667,122 @@ func TestStarUnreachableLeafEarlyLeave(t *testing.T) {
 	}
 	if ctrl.Now() != 2000 {
 		t.Fatalf("ctrl clock = %v, want 2000", ctrl.Now())
+	}
+}
+
+// TestWorkerCapBoundary pins the widened worker ceiling: 255 LPs — the
+// full eight-bit rank space minus the control engine — construct and run,
+// with one message routed to every leaf so the multi-word participant
+// bitsets (four words at this width) carry real traffic end to end.
+func TestWorkerCapBoundary(t *testing.T) {
+	const w = 255
+	var engines []*sim.Engine
+	for n := 0; n < w; n++ {
+		e := sim.NewEngine()
+		e.SetRank(n)
+		engines = append(engines, e)
+	}
+	ctrl := sim.NewEngine()
+	ctrl.SetRank(w)
+	topo := par.Topology{Workers: w}
+	for l := 1; l < w; l++ {
+		topo.Links = append(topo.Links,
+			par.Link{Src: 0, Dst: l, Latency: 64},
+			par.Link{Src: l, Dst: 0, Latency: 64})
+	}
+	x := par.New(ctrl, engines, topo)
+	hub := engines[0]
+	got := make([]int, w)
+	hub.AtCall(10, func(any, int64) {
+		for l := 1; l < w; l++ {
+			dst := l
+			x.Send(0, dst, hub.Now()+64, hub.AllocSeq(),
+				func(any, int64) { got[dst]++ }, nil, 0)
+		}
+	}, nil, 0)
+	x.Start()
+	defer x.Shutdown()
+	x.AdvanceTo(200)
+	for l := 1; l < w; l++ {
+		if got[l] != 1 {
+			t.Fatalf("leaf %d received %d messages, want 1", l, got[l])
+		}
+	}
+	for n, e := range engines {
+		if e.Now() != 200 {
+			t.Fatalf("engine %d clock = %v, want 200", n, e.Now())
+		}
+	}
+}
+
+// One past the cap must refuse at construction: a 256th worker would need
+// a rank the seq-key encoding cannot give it.
+func TestWorkerCapExceededPanics(t *testing.T) {
+	var engines []*sim.Engine
+	for n := 0; n < 256; n++ {
+		engines = append(engines, sim.NewEngine())
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic for 256 workers")
+		}
+		if !strings.Contains(fmt.Sprint(r), "outside 1..255") {
+			t.Fatalf("recovered %v, want worker-cap panic", r)
+		}
+	}()
+	par.New(sim.NewEngine(), engines, par.Uniform(256, 64))
+}
+
+// TestWideStarMatchesSerialOracle is the star oracle at fleet width:
+// 100..128 worker LPs (including the hub), far past the old single-word
+// bitset ceiling, with randomized asymmetric spoke latencies. Every
+// per-node log must match the single-engine oracle exactly, and observed
+// slack may never undercut the declared closure.
+func TestWideStarMatchesSerialOracle(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed * 101))
+		leaves := 99 + rng.Intn(29) // 100..128 workers including the hub
+		w := leaves + 1
+		k := w // residue modulus; link latencies are multiples of k
+		topo := par.Topology{Workers: w}
+		dist := make([][]sim.Time, w)
+		for i := range dist {
+			dist[i] = make([]sim.Time, w)
+			for j := range dist[i] {
+				if i != j {
+					dist[i][j] = noPath
+				}
+			}
+		}
+		for l := 1; l < w; l++ {
+			down := sim.Time(k * (3 + rng.Intn(12)))
+			up := sim.Time(k * (3 + rng.Intn(12)))
+			topo.Links = append(topo.Links,
+				par.Link{Src: 0, Dst: l, Latency: down},
+				par.Link{Src: l, Dst: 0, Latency: up})
+			dist[0][l] = down
+			dist[l][0] = up
+		}
+		closure(dist)
+		s := buildScriptStride(rng, w, 4*w, dist, k)
+		ser := newRunnerTopo(s, w, nil)
+		ser.run(200000)
+		pp := newRunnerTopo(s, w, &topo)
+		pp.run(200000)
+		for n := range ser.logs {
+			if !reflect.DeepEqual(ser.logs[n], pp.logs[n]) {
+				t.Fatalf("seed %d (%d leaves) node %d:\nserial   %v\nparallel %v",
+					seed, leaves, n, ser.logs[n], pp.logs[n])
+			}
+		}
+		for src, row := range pp.x.ObservedSlack() {
+			for dst, sl := range row {
+				if dst < w && sl >= 0 && sl < dist[src][dst] {
+					t.Fatalf("seed %d: observed slack %v on %d→%d below declared %v",
+						seed, sl, src, dst, dist[src][dst])
+				}
+			}
+		}
 	}
 }

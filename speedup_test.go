@@ -126,4 +126,21 @@ func TestClusterSpeedupMultiCore(t *testing.T) {
 		t.Errorf("parallel engine slower than serial on the 64-server fleet on a %d-CPU machine: serial %v, shards=5 %v (%.2fx)",
 			runtime.NumCPU(), serial, parallel, speedup)
 	}
+
+	// Fleet1024 sentinel: the datacenter-scale configuration this engine
+	// was widened for — 1024 servers in 8 pods behind 4:1 oversubscribed
+	// uplinks, partitioned into four server-group LPs plus the ingress.
+	// Shorter window than Fleet64 (the fleet is 16x the work per
+	// simulated second); sharded must still beat serial on real cores.
+	cfg.Cluster = &halsim.ClusterConfig{Servers: 1024, Dispatch: "p2c", Pods: 8, Oversub: 4}
+	rc = halsim.RunConfig{Duration: 2 * halsim.Millisecond, RateGbps: 2048}
+	serial = timeFleet(0)
+	parallel = timeFleet(5)
+	speedup = float64(serial) / float64(parallel)
+	t.Logf("Fleet1024 serial %v, shards=5 %v, speedup %.2fx (NumCPU=%d, GOMAXPROCS=%d, min of %d)",
+		serial, parallel, speedup, runtime.NumCPU(), runtime.GOMAXPROCS(0), speedupRuns)
+	if parallel > serial {
+		t.Errorf("parallel engine slower than serial on the 1024-server fleet on a %d-CPU machine: serial %v, shards=5 %v (%.2fx)",
+			runtime.NumCPU(), serial, parallel, speedup)
+	}
 }
